@@ -1,0 +1,71 @@
+// Command memtherm regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	memtherm -list                 # show available experiments
+//	memtherm -run fig4.3           # run one experiment
+//	memtherm -run all              # run everything (minutes)
+//	memtherm -run fig5.6 -quick    # reduced-scale run (seconds to ~1 min)
+//	memtherm -run fig4.4 -csv      # emit CSV instead of rendered tables
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dramtherm/internal/exp"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list experiment IDs and exit")
+		run   = flag.String("run", "", "experiment ID(s), comma separated, or \"all\"")
+		quick = flag.Bool("quick", false, "reduced-scale mode (smaller batches, fewer mixes)")
+		csv   = flag.Bool("csv", false, "emit tables as CSV")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, d := range exp.All() {
+			fmt.Printf("%-10s %s\n", d.ID, d.Title)
+		}
+		return
+	}
+	if *run == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	runner := exp.NewRunner(*quick)
+	ids := strings.Split(*run, ",")
+	if *run == "all" {
+		ids = exp.IDs()
+	}
+	for _, id := range ids {
+		d, err := exp.Lookup(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		start := time.Now()
+		res, err := d.Run(runner)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("==== %s — %s (%.1fs)\n\n", d.ID, d.Title, time.Since(start).Seconds())
+		if *csv {
+			for _, t := range res.Tables {
+				fmt.Print(t.CSV())
+			}
+			for _, f := range res.Figures {
+				fmt.Print(f.DataTable().CSV())
+			}
+			continue
+		}
+		fmt.Print(res.String())
+	}
+}

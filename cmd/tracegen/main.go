@@ -1,0 +1,99 @@
+// Command tracegen runs the level-1 architectural simulator for a set of
+// design points and dumps the resulting rate records (the Wi×D trace set
+// of §4.3.1) to a gob file that cmd/memspot and the library can reload.
+//
+// Usage:
+//
+//	tracegen -mix W1 -out w1.traces
+//	tracegen -mix W1 -freqs 3.2,2.4,1.6,0.8 -caps 19.2,12.8,6.4 -out w1.traces
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"dramtherm/internal/sim"
+	"dramtherm/internal/trace"
+	"dramtherm/internal/workload"
+)
+
+func parseFloats(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, p := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func main() {
+	var (
+		mixName = flag.String("mix", "W1", "workload mix (W1..W8, W11, W12)")
+		freqs   = flag.String("freqs", "3.2,2.4,1.6,0.8", "core frequencies (GHz)")
+		caps    = flag.String("caps", "19.2,12.8,6.4", "bandwidth caps (GB/s); uncapped always included")
+		seed    = flag.Int64("seed", 1, "stream seed")
+		out     = flag.String("out", "", "output file (required)")
+	)
+	flag.Parse()
+	if *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	mix, err := workload.MixByName(*mixName)
+	fail(err)
+	fs, err := parseFloats(*freqs)
+	fail(err)
+	cs, err := parseFloats(*caps)
+	fail(err)
+	cs = append(cs, math.Inf(1))
+
+	store := sim.NewStore(*seed)
+	apps := trace.CanonApps(mix.Apps)
+	n := 0
+	for _, f := range fs {
+		for _, c := range cs {
+			dp := trace.DesignPoint{Apps: apps, FreqGHz: f, BWCapGBps: c}
+			r, err := store.Get(dp)
+			fail(err)
+			fmt.Printf("%v: %.2f GB/s, latency %.0f ns\n", dp, r.TotalGBps(), r.MeanLatencyNS)
+			n++
+		}
+	}
+	// Core-gated subsets at top frequency (the DTM-ACG design points).
+	for size := 1; size < len(mix.Apps); size++ {
+		for start := 0; start < len(mix.Apps); start++ {
+			var names []string
+			for k := 0; k < size; k++ {
+				names = append(names, mix.Apps[(start+k)%len(mix.Apps)])
+			}
+			dp := trace.DesignPoint{Apps: trace.CanonApps(names), FreqGHz: fs[0], BWCapGBps: math.Inf(1)}
+			r, err := store.Get(dp)
+			fail(err)
+			fmt.Printf("%v: %.2f GB/s\n", dp, r.TotalGBps())
+			n++
+		}
+	}
+
+	f, err := os.Create(*out)
+	fail(err)
+	defer f.Close()
+	fail(store.Save(f))
+	fmt.Printf("wrote %d design points (%d records) to %s\n", n, store.Len(), *out)
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

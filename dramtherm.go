@@ -1,0 +1,82 @@
+// Package dramtherm is the public facade of the library: a reproduction
+// of "Thermal Modeling and Management of DRAM Memory Systems" (Lin,
+// Zheng, Zhu, David, Zhang — ISCA 2007, plus the Chapter 5 follow-up
+// measurement study).
+//
+// The facade exposes the high-level workflow — build a System, pick a
+// workload mix, a DTM policy, a cooling configuration and a thermal
+// model, then Run — while the full machinery lives in the internal
+// packages:
+//
+//	internal/fbdimm, internal/memctrl  FBDIMM + controller simulator
+//	internal/cpu, internal/cache       multicore and shared-L2 models
+//	internal/workload                  synthetic SPEC application profiles
+//	internal/power, internal/thermal   Chapter 3 models (Eqs. 3.1–3.6)
+//	internal/pid, internal/dtm         PID controller and DTM policies
+//	internal/sim                       two-level simulator (Level1 + MEMSpot)
+//	internal/platform                  Chapter 5 server emulation
+//	internal/exp                       one driver per paper table/figure
+//
+// Quickstart:
+//
+//	sys := dramtherm.NewSystem(dramtherm.DefaultConfig())
+//	mix, _ := dramtherm.MixByName("W1")
+//	p, _ := sys.NewPolicy("DTM-ACG")
+//	res, _ := sys.Run(dramtherm.RunSpec{
+//		Mix: mix, Policy: p,
+//		Cooling: dramtherm.CoolingAOHS15, Model: dramtherm.Isolated,
+//	})
+//	fmt.Println(res.Seconds, res.MaxAMB)
+package dramtherm
+
+import (
+	"dramtherm/internal/core"
+	"dramtherm/internal/fbconfig"
+	"dramtherm/internal/sim"
+	"dramtherm/internal/workload"
+)
+
+// Re-exported types. See the internal packages for full documentation.
+type (
+	// Config parameterizes a System (core.Config).
+	Config = core.Config
+	// System is the simulation engine (core.System).
+	System = core.System
+	// RunSpec describes one level-2 run (core.RunSpec).
+	RunSpec = core.RunSpec
+	// Result is a level-2 run result (sim.MEMSpotResult).
+	Result = sim.MEMSpotResult
+	// Mix is a multiprogramming workload (workload.Mix).
+	Mix = workload.Mix
+	// Cooling is a Table 3.2 cooling configuration (fbconfig.Cooling).
+	Cooling = fbconfig.Cooling
+	// ThermalModelKind selects isolated vs integrated ambient modeling.
+	ThermalModelKind = core.ThermalModelKind
+)
+
+// Thermal model kinds.
+const (
+	Isolated   = core.Isolated
+	Integrated = core.Integrated
+)
+
+// The two cooling configurations the paper evaluates (Table 3.2).
+var (
+	CoolingAOHS15 = fbconfig.CoolingAOHS15
+	CoolingFDHS10 = fbconfig.CoolingFDHS10
+)
+
+// DefaultConfig returns the Chapter 4 system configuration.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// NewSystem builds a simulation engine.
+func NewSystem(cfg Config) *System { return core.NewSystem(cfg) }
+
+// MixByName returns a Table 4.2/5.2 workload mix (W1..W8, W11, W12).
+func MixByName(name string) (Mix, error) { return workload.MixByName(name) }
+
+// Mixes returns all workload mixes of the paper.
+func Mixes() []Mix { return workload.Mixes }
+
+// PolicyNames lists the available Chapter 4 DTM policies.
+func PolicyNames() []string { return core.PolicyNames() }

@@ -1,0 +1,49 @@
+package dramtherm
+
+import "testing"
+
+// TestFacade exercises the public API end-to-end at a tiny scale: the
+// exact code path the README quickstart shows.
+func TestFacade(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Replicas = 1
+	cfg.InstrScale = 0.01
+	sys := NewSystem(cfg)
+
+	mix, err := MixByName("W1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mix.Apps) != 4 {
+		t.Fatalf("W1 = %v", mix.Apps)
+	}
+	p, err := sys.NewPolicy("DTM-ACG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(RunSpec{Mix: mix, Policy: p, Cooling: CoolingAOHS15, Model: Isolated})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seconds <= 0 || res.Completed != 4 {
+		t.Fatalf("facade run broken: %+v", res)
+	}
+}
+
+func TestFacadeCatalog(t *testing.T) {
+	if len(Mixes()) != 10 {
+		t.Fatalf("mixes = %d", len(Mixes()))
+	}
+	if len(PolicyNames()) != 9 {
+		t.Fatalf("policies = %d", len(PolicyNames()))
+	}
+	if CoolingAOHS15.Name() != "AOHS_1.5" || CoolingFDHS10.Name() != "FDHS_1.0" {
+		t.Fatal("cooling exports wrong")
+	}
+	if Isolated.String() != "isolated" || Integrated.String() != "integrated" {
+		t.Fatal("model kinds wrong")
+	}
+	if _, err := MixByName("W0"); err == nil {
+		t.Fatal("unknown mix accepted")
+	}
+}

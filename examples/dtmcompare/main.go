@@ -1,0 +1,58 @@
+// dtmcompare sweeps every DTM policy over a workload mix and prints the
+// Fig. 4.3-style comparison: normalized running time, traffic, energy and
+// thermal safety, with and without the PID formal controller.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"dramtherm"
+)
+
+func main() {
+	mixName := flag.String("mix", "W2", "workload mix (W1..W8)")
+	cooling := flag.String("cooling", "AOHS_1.5", "AOHS_1.5 or FDHS_1.0")
+	flag.Parse()
+
+	cfg := dramtherm.DefaultConfig()
+	cfg.Replicas = 6
+	sys := dramtherm.NewSystem(cfg)
+
+	mix, err := dramtherm.MixByName(*mixName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cool := dramtherm.CoolingAOHS15
+	if *cooling == "FDHS_1.0" {
+		cool = dramtherm.CoolingFDHS10
+	}
+
+	base, err := sys.Baseline(mix, cool, dramtherm.Isolated)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s under %s — baseline %.0f s, %.0f GB\n\n", mix.Name, cool.Name(), base.Seconds, base.TotalTrafficGB())
+	fmt.Printf("%-15s %9s %9s %9s %9s %7s %6s\n",
+		"policy", "norm time", "traffic", "mem kJ", "cpu kJ", "maxAMB", "overs")
+	for _, name := range dramtherm.PolicyNames() {
+		if name == "No-limit" {
+			continue
+		}
+		p, err := sys.NewPolicy(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sys.Run(dramtherm.RunSpec{Mix: mix, Policy: p, Cooling: cool, Model: dramtherm.Isolated})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-15s %9.3f %9.3f %9.0f %9.0f %7.1f %6d\n",
+			name,
+			res.Seconds/base.Seconds,
+			res.TotalTrafficGB()/base.TotalTrafficGB(),
+			res.MemEnergyJ/1e3, res.CPUEnergyJ/1e3,
+			res.MaxAMB, res.Overshoots)
+	}
+}

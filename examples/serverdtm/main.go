@@ -1,0 +1,50 @@
+// serverdtm reproduces the Chapter 5 workflow on the emulated servers:
+// run a workload batch on the PE1950 and SR1500AL under each software DTM
+// policy and report performance, power, inlet temperature and energy —
+// the measurement campaign of §5.4 in miniature.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"dramtherm/internal/platform"
+	"dramtherm/internal/workload"
+)
+
+func main() {
+	mixName := flag.String("mix", "W3", "workload mix")
+	runs := flag.Int("runs", 2, "batch runs per application")
+	flag.Parse()
+
+	mix, err := workload.MixByName(*mixName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, m := range []platform.Machine{platform.PE1950(), platform.SR1500AL()} {
+		store := platform.NewStore(m, 1)
+		fmt.Printf("=== %s (AMB TDP %.0f C, ambient %.0f C)\n", m.Name, m.AMBTDP, m.SystemAmbient)
+		var base platform.RunResult
+		for _, k := range platform.PolicyKinds() {
+			res, err := platform.RunPlatform(platform.RunConfig{
+				Machine:    m,
+				Policy:     k,
+				Mix:        mix,
+				RunsPerApp: *runs,
+				SensorSeed: 42,
+			}, store)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if k == platform.NoLimit {
+				base = res
+			}
+			fmt.Printf("%-10s  time %6.0fs (norm %.2f)  cpu %5.1fW  inlet %.1fC  maxAMB %5.1fC  energy %6.0f kJ\n",
+				k, res.Seconds, res.Seconds/base.Seconds, res.AvgCPUWatt, res.AvgInletC,
+				res.MaxAMB, res.TotalEnergyJ()/1e3)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,64 @@
+// thermalmap exercises the Chapter 3 models directly (no simulator): it
+// sweeps memory throughput and prints the stable AMB and DRAM
+// temperatures of every DIMM on an FBDIMM channel for both cooling
+// configurations, then shows a step-response of the thermal RC dynamics —
+// the raw behaviour behind Figs. 4.5–4.8.
+package main
+
+import (
+	"fmt"
+
+	"dramtherm/internal/fbconfig"
+	"dramtherm/internal/power"
+	"dramtherm/internal/thermal"
+)
+
+func main() {
+	for _, cool := range fbconfig.ExperimentCoolings {
+		ambient := fbconfig.AmbientIsolated.Inlet(cool)
+		fmt.Printf("=== %s, ambient %.0f C (AMB TDP 110 C, DRAM TDP 85 C)\n", cool.Name(), ambient)
+		fmt.Printf("%10s  %s\n", "traffic", "DIMM0..DIMM3: AMB / DRAM stable temperature (C)")
+		for _, gbps := range []float64{0, 4, 8, 12, 16, 20} {
+			perCh := power.ChannelTraffic{
+				Read:  gbps * 0.75 / 4, // 4 physical channels, 3:1 read:write
+				Write: gbps * 0.25 / 4,
+				Share: power.EvenShares(4),
+			}
+			pw, err := power.ChannelWatts(fbconfig.DefaultDRAMPower, fbconfig.DefaultAMBPower, perCh)
+			if err != nil {
+				panic(err)
+			}
+			fmt.Printf("%7.0fGB/s ", gbps)
+			for _, p := range pw {
+				fmt.Printf(" %5.1f/%5.1f", thermal.StableAMB(cool, ambient, p), thermal.StableDRAM(cool, ambient, p))
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+
+	// Step response: idle channel suddenly driven at 16 GB/s for 120 s,
+	// then idled again — the τ=50 s AMB rise of §3.4.
+	cool := fbconfig.CoolingAOHS15
+	ambient := fbconfig.AmbientIsolated.Inlet(cool)
+	idle := power.DIMMPower{AMB: fbconfig.DefaultAMBPower.IdleOther, DRAM: fbconfig.DefaultDRAMPower.Static}
+	m := thermal.NewModel(cool, ambient, 4, idle)
+	hot, err := power.ChannelWatts(fbconfig.DefaultDRAMPower, fbconfig.DefaultAMBPower, power.ChannelTraffic{
+		Read: 3, Write: 1, Share: power.EvenShares(4),
+	})
+	if err != nil {
+		panic(err)
+	}
+	idles := []power.DIMMPower{idle, idle, idle, idle}
+	fmt.Println("step response (16 GB/s for 120 s, then idle), hottest AMB:")
+	for t := 0; t < 240; t += 10 {
+		pw := hot
+		if t >= 120 {
+			pw = idles
+		}
+		if err := m.Advance(pw, 10); err != nil {
+			panic(err)
+		}
+		fmt.Printf("  t=%3ds  AMB %.1f C\n", t+10, m.HottestAMB())
+	}
+}

@@ -1,0 +1,37 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkAccess measures the shared-L2 lookup path, the hottest inner
+// loop of the level-1 simulator.
+func BenchmarkAccess(b *testing.B) {
+	c, err := New(Config{SizeKB: 4096, Ways: 8, LineBytes: 64}, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	addrs := make([]uint64, 4096)
+	for i := range addrs {
+		addrs[i] = uint64(rng.Int63n(1 << 24))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(i&3, addrs[i&4095], Load)
+	}
+}
+
+// BenchmarkAccessHit measures the pure hit path.
+func BenchmarkAccessHit(b *testing.B) {
+	c, err := New(Config{SizeKB: 64, Ways: 4, LineBytes: 64}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.Access(0, 0, Load)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(0, 0, Load)
+	}
+}

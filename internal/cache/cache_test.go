@@ -1,0 +1,220 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustNew(t *testing.T, cfg Config, cores int) *Cache {
+	t.Helper()
+	c, err := New(cfg, cores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func small(t *testing.T) *Cache {
+	return mustNew(t, Config{SizeKB: 8, Ways: 2, LineBytes: 64}, 2) // 64 sets
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{SizeKB: 0, Ways: 2, LineBytes: 64},
+		{SizeKB: 8, Ways: 0, LineBytes: 64},
+		{SizeKB: 8, Ways: 2, LineBytes: 0},
+		{SizeKB: 8, Ways: 3, LineBytes: 64},  // lines not divisible
+		{SizeKB: 12, Ways: 2, LineBytes: 64}, // sets not power of two
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("config %+v accepted", cfg)
+		}
+	}
+	if err := (Config{SizeKB: 4096, Ways: 8, LineBytes: 64}).Validate(); err != nil {
+		t.Fatalf("Table 4.1 L2 rejected: %v", err)
+	}
+}
+
+func TestHitMiss(t *testing.T) {
+	c := small(t)
+	if r := c.Access(0, 0x1000, Load); r.Hit {
+		t.Fatal("cold access hit")
+	}
+	if r := c.Access(0, 0x1000, Load); !r.Hit {
+		t.Fatal("warm access missed")
+	}
+	// Same line, different byte offset: still a hit.
+	if r := c.Access(0, 0x103F, Load); !r.Hit {
+		t.Fatal("same-line access missed")
+	}
+	st := c.Stats()
+	if st.Accesses != 3 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := small(t) // 2 ways
+	setStride := uint64(64 * c.Sets())
+	a, b, d := uint64(0), setStride, 2*setStride // same set
+	c.Access(0, a, Load)
+	c.Access(0, b, Load)
+	c.Access(0, a, Load) // a is now MRU
+	c.Access(0, d, Load) // evicts b (LRU)
+	if !c.Contains(a) {
+		t.Fatal("a evicted")
+	}
+	if c.Contains(b) {
+		t.Fatal("b survived")
+	}
+	if !c.Contains(d) {
+		t.Fatal("d not inserted")
+	}
+}
+
+func TestWriteback(t *testing.T) {
+	c := small(t)
+	setStride := uint64(64 * c.Sets())
+	c.Access(0, 0, Store) // dirty
+	c.Access(0, setStride, Load)
+	r := c.Access(0, 2*setStride, Load) // evicts the dirty line
+	if !r.WritebackValid {
+		t.Fatal("no writeback for dirty victim")
+	}
+	if r.Writeback != 0 {
+		t.Fatalf("writeback addr = %#x", r.Writeback)
+	}
+	// Clean victims do not write back.
+	r = c.Access(0, 3*setStride, Load)
+	if r.WritebackValid {
+		t.Fatal("clean victim wrote back")
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Fatalf("writebacks = %d", c.Stats().Writebacks)
+	}
+}
+
+func TestStoreHitDirties(t *testing.T) {
+	c := small(t)
+	setStride := uint64(64 * c.Sets())
+	c.Access(0, 0, Load)  // clean
+	c.Access(0, 0, Store) // hit, now dirty
+	c.Access(0, setStride, Load)
+	r := c.Access(0, 2*setStride, Load)
+	if !r.WritebackValid {
+		t.Fatal("store-hit did not dirty the line")
+	}
+}
+
+func TestPerCoreStats(t *testing.T) {
+	c := small(t)
+	c.Access(0, 0x0, Load)
+	c.Access(1, 0x40, Load)
+	c.Access(1, 0x40, Load)
+	if s := c.CoreStats(0); s.Accesses != 1 || s.Misses != 1 {
+		t.Fatalf("core0 = %+v", s)
+	}
+	if s := c.CoreStats(1); s.Accesses != 2 || s.Misses != 1 {
+		t.Fatalf("core1 = %+v", s)
+	}
+	if s := c.CoreStats(99); s.Accesses != 0 {
+		t.Fatalf("out of range stats = %+v", s)
+	}
+}
+
+func TestResetStatsAndFlush(t *testing.T) {
+	c := small(t)
+	c.Access(0, 0, Store)
+	c.ResetStats()
+	if c.Stats().Accesses != 0 {
+		t.Fatal("stats not reset")
+	}
+	if !c.Contains(0) {
+		t.Fatal("reset flushed contents")
+	}
+	if n := c.Flush(); n != 1 {
+		t.Fatalf("flushed %d dirty lines", n)
+	}
+	if c.Contains(0) {
+		t.Fatal("flush kept contents")
+	}
+}
+
+// TestWorkingSetFits: a working set smaller than the cache converges to
+// all hits — the capacity behaviour the DTM-ACG gains rely on.
+func TestWorkingSetFits(t *testing.T) {
+	c := mustNew(t, Config{SizeKB: 64, Ways: 4, LineBytes: 64}, 1)
+	rng := rand.New(rand.NewSource(1))
+	lines := uint64(32 * 1024 / 64) // 32 KB working set in a 64 KB cache
+	for i := 0; i < 20000; i++ {
+		c.Access(0, uint64(rng.Int63n(int64(lines)))*64, Load)
+	}
+	c.ResetStats()
+	for i := 0; i < 20000; i++ {
+		c.Access(0, uint64(rng.Int63n(int64(lines)))*64, Load)
+	}
+	if mr := c.Stats().MissRate(); mr > 0.001 {
+		t.Fatalf("fitting working set missed %.3f", mr)
+	}
+}
+
+// TestContention: two cores sharing the cache miss more than one core
+// alone with the same per-core working set.
+func TestContention(t *testing.T) {
+	run := func(cores int) float64 {
+		c := mustNew(t, Config{SizeKB: 64, Ways: 4, LineBytes: 64}, 2)
+		rng := rand.New(rand.NewSource(2))
+		lines := int64(48 * 1024 / 64) // 48 KB per core
+		for i := 0; i < 40000; i++ {
+			core := i % cores
+			addr := uint64(core)<<32 | uint64(rng.Int63n(lines))*64
+			c.Access(core, addr, Load)
+		}
+		return c.Stats().MissRate()
+	}
+	solo, shared := run(1), run(2)
+	if shared <= solo {
+		t.Fatalf("no contention effect: solo %.3f shared %.3f", solo, shared)
+	}
+}
+
+// Property: misses never exceed accesses, and stats add up per core.
+func TestStatsConsistencyProperty(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		c, err := New(Config{SizeKB: 8, Ways: 2, LineBytes: 64}, 4)
+		if err != nil {
+			return false
+		}
+		for i, a := range addrs {
+			kind := Load
+			if a%3 == 0 {
+				kind = Store
+			}
+			c.Access(i%4, uint64(a)*64, kind)
+		}
+		st := c.Stats()
+		if st.Misses > st.Accesses {
+			return false
+		}
+		var sum Stats
+		for core := 0; core < 4; core++ {
+			cs := c.CoreStats(core)
+			sum.Accesses += cs.Accesses
+			sum.Misses += cs.Misses
+			sum.Writebacks += cs.Writebacks
+		}
+		return sum.Accesses == st.Accesses && sum.Misses == st.Misses &&
+			sum.Writebacks == st.Writebacks
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMissRateZeroWhenIdle(t *testing.T) {
+	if (Stats{}).MissRate() != 0 {
+		t.Fatal("idle miss rate not 0")
+	}
+}

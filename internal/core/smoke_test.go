@@ -1,0 +1,54 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"dramtherm/internal/fbconfig"
+	"dramtherm/internal/workload"
+)
+
+// TestSmokeW1 runs W1 end-to-end under every Chapter 4 policy at reduced
+// scale and prints normalized runtimes — the first full-loop validation
+// of the reproduction (compare with Fig. 4.3 AOHS_1.5).
+func TestSmokeW1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke run skipped in -short mode")
+	}
+	cfg := DefaultConfig()
+	cfg.Replicas = 4
+	sys := NewSystem(cfg)
+	mix, err := workload.MixByName("W1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := sys.Baseline(mix, fbconfig.CoolingAOHS15, Isolated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("No-limit: %.0f s, %.0f GB traffic, maxAMB=%.1f maxDRAM=%.1f",
+		base.Seconds, base.TotalTrafficGB(), base.MaxAMB, base.MaxDRAM)
+	if base.TimedOut {
+		t.Fatal("baseline timed out")
+	}
+	for _, name := range []string{"DTM-TS", "DTM-BW", "DTM-ACG", "DTM-CDVFS", "DTM-ACG+PID", "DTM-CDVFS+PID", "DTM-BW+PID"} {
+		start := time.Now()
+		p, err := sys.NewPolicy(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Run(RunSpec{Mix: mix, Policy: p, Cooling: fbconfig.CoolingAOHS15, Model: Isolated})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		norm := res.Seconds / base.Seconds
+		t.Logf("%-14s norm=%.2f  (%.0f s, traffic %.0f GB, maxAMB %.1f, overshoots %d, memE %.0f kJ, cpuE %.0f kJ) [wall %.1fs]",
+			name, norm, res.Seconds, res.TotalTrafficGB(), res.MaxAMB, res.Overshoots,
+			res.MemEnergyJ/1e3, res.CPUEnergyJ/1e3, time.Since(start).Seconds())
+		if res.MaxAMB > 111 {
+			t.Errorf("%s exceeded AMB TDP badly: %.1f", name, res.MaxAMB)
+		}
+	}
+	builds, hits := sys.Store().Counts()
+	t.Logf("trace store: %d builds, %d hits", builds, hits)
+}

@@ -1,0 +1,242 @@
+package dtm
+
+import (
+	"math"
+	"testing"
+
+	"dramtherm/internal/fbconfig"
+)
+
+func TestLevelMapping(t *testing.T) {
+	l := DefaultLevels()
+	cases := []struct {
+		amb, dram float64
+		want      int
+	}{
+		{100, 80, 1},
+		{108.2, 80, 2},
+		{109.2, 80, 3},
+		{109.7, 80, 4},
+		{110.5, 80, 5},
+		{100, 83.5, 2}, // DRAM binds
+		{100, 84.9, 4},
+		{100, 85.1, 5},
+		{109.2, 84.9, 4}, // max of the two
+	}
+	for _, tc := range cases {
+		if got := l.Level(tc.amb, tc.dram); got != tc.want {
+			t.Errorf("Level(%v,%v) = %d, want %d", tc.amb, tc.dram, got, tc.want)
+		}
+	}
+}
+
+func TestLevelsForTDP(t *testing.T) {
+	l := LevelsForTDP(100, 85)
+	if l.AMB[3] != 100 {
+		t.Fatalf("shifted top AMB = %v", l.AMB[3])
+	}
+	if l.AMB[0] != 98 {
+		t.Fatalf("shifted AMB L1 bound = %v (margins not preserved)", l.AMB[0])
+	}
+	if l.DRAM != DefaultLevels().DRAM {
+		t.Fatal("unchanged DRAM TDP moved the DRAM bounds")
+	}
+}
+
+func TestTSHysteresis(t *testing.T) {
+	p := NewTS(fbconfig.DefaultLimits, 4)
+	if p.Name() != "DTM-TS" {
+		t.Fatal(p.Name())
+	}
+	a := p.Decide(Input{AMB: 105, DRAM: 80})
+	if a.MemOff {
+		t.Fatal("cold start shut down")
+	}
+	a = p.Decide(Input{AMB: 110, DRAM: 80})
+	if !a.MemOff {
+		t.Fatal("TDP reached but memory on")
+	}
+	// Between TRP and TDP: stays off.
+	a = p.Decide(Input{AMB: 109.5, DRAM: 80})
+	if !a.MemOff {
+		t.Fatal("hysteresis released early")
+	}
+	a = p.Decide(Input{AMB: 108.9, DRAM: 80})
+	if a.MemOff {
+		t.Fatal("below TRP but still off")
+	}
+	// DRAM can trigger too.
+	a = p.Decide(Input{AMB: 100, DRAM: 85})
+	if !a.MemOff {
+		t.Fatal("DRAM TDP ignored")
+	}
+	p.Reset()
+	if p.Decide(Input{AMB: 109.5, DRAM: 80}).MemOff {
+		t.Fatal("reset did not clear hysteresis")
+	}
+}
+
+func TestBWTable(t *testing.T) {
+	p := NewBW(DefaultLevels(), 4)
+	for _, tc := range []struct {
+		amb  float64
+		want float64
+	}{
+		{100, math.Inf(1)}, {108.5, 19.2}, {109.2, 12.8}, {109.7, 6.4},
+	} {
+		a := p.Decide(Input{AMB: tc.amb, DRAM: 70})
+		if a.BWCapGBps != tc.want || a.MemOff {
+			t.Errorf("BW at %v = %+v", tc.amb, a)
+		}
+	}
+	if a := p.Decide(Input{AMB: 110.2, DRAM: 70}); !a.MemOff {
+		t.Fatal("L5 did not shut down")
+	}
+	// Hysteresis: still off just below the TDP.
+	if a := p.Decide(Input{AMB: 109.6, DRAM: 70}); !a.MemOff {
+		t.Fatal("shutdown hysteresis missing")
+	}
+	// Released a full degree below.
+	if a := p.Decide(Input{AMB: 108.9, DRAM: 70}); a.MemOff {
+		t.Fatal("hysteresis never released")
+	}
+}
+
+func TestACGTable(t *testing.T) {
+	p := NewACG(DefaultLevels(), 4)
+	for _, tc := range []struct {
+		amb  float64
+		want int
+	}{
+		{100, 4}, {108.5, 3}, {109.2, 2}, {109.7, 1},
+	} {
+		a := p.Decide(Input{AMB: tc.amb, DRAM: 70})
+		if a.ActiveCores != tc.want {
+			t.Errorf("ACG at %v = %d cores, want %d", tc.amb, a.ActiveCores, tc.want)
+		}
+	}
+	if a := p.Decide(Input{AMB: 111, DRAM: 70}); !a.MemOff || a.ActiveCores != 0 {
+		t.Fatalf("ACG L5 = %+v", a)
+	}
+}
+
+func TestCDVFSTable(t *testing.T) {
+	p := NewCDVFS(DefaultLevels(), 4)
+	for _, tc := range []struct {
+		amb  float64
+		want int
+	}{
+		{100, 0}, {108.5, 1}, {109.2, 2}, {109.7, 3},
+	} {
+		a := p.Decide(Input{AMB: tc.amb, DRAM: 70})
+		if a.FreqIndex != tc.want {
+			t.Errorf("CDVFS at %v = level %d, want %d", tc.amb, a.FreqIndex, tc.want)
+		}
+	}
+}
+
+func TestNewTable(t *testing.T) {
+	if _, err := NewTable("x", DefaultLevels(), nil, 1); err == nil {
+		t.Fatal("empty action table accepted")
+	}
+	p, err := NewTable("custom", DefaultLevels(), []Action{
+		{BWCapGBps: NoCap(), ActiveCores: 4},
+		{BWCapGBps: 5, ActiveCores: 4},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "custom" {
+		t.Fatal(p.Name())
+	}
+	// Levels beyond the table clamp to the last action.
+	a := p.Decide(Input{AMB: 120, DRAM: 120})
+	if a.BWCapGBps != 5 {
+		t.Fatalf("clamped action = %+v", a)
+	}
+}
+
+func TestPIDPolicy(t *testing.T) {
+	p, err := NewPID("DTM-ACG", ActionsACG(4), fbconfig.DefaultLimits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "DTM-ACG+PID" {
+		t.Fatal(p.Name())
+	}
+	// Cold: full performance.
+	a := p.Decide(Input{AMB: 95, DRAM: 70, Dt: 0.01})
+	if a.ActiveCores != 4 || a.MemOff {
+		t.Fatalf("cold = %+v", a)
+	}
+	// Far above target: most throttled (but not off below TDP).
+	p.Reset()
+	a = p.Decide(Input{AMB: 109.99, DRAM: 70, Dt: 0.01})
+	if a.ActiveCores != 1 || a.MemOff {
+		t.Fatalf("hot = %+v", a)
+	}
+	// At/above the TDP the safety net shuts down until the TRP.
+	a = p.Decide(Input{AMB: 110.1, DRAM: 70, Dt: 0.01})
+	if !a.MemOff {
+		t.Fatal("safety net missing")
+	}
+	a = p.Decide(Input{AMB: 109.5, DRAM: 70, Dt: 0.01})
+	if !a.MemOff {
+		t.Fatal("safety hysteresis missing")
+	}
+	a = p.Decide(Input{AMB: 108.5, DRAM: 70, Dt: 0.01})
+	if a.MemOff {
+		t.Fatal("safety never released")
+	}
+	if _, err := NewPID("x", nil, fbconfig.DefaultLimits); err == nil {
+		t.Fatal("empty PID table accepted")
+	}
+}
+
+func TestActionLadders(t *testing.T) {
+	if got := len(ActionsBW(4)); got != 4 {
+		t.Fatalf("BW ladder = %d", got)
+	}
+	acg := ActionsACG(4)
+	if len(acg) != 4 || acg[0].ActiveCores != 4 || acg[3].ActiveCores != 1 {
+		t.Fatalf("ACG ladder = %+v", acg)
+	}
+	cd := ActionsCDVFS(4, 4)
+	if len(cd) != 4 || cd[3].FreqIndex != 3 {
+		t.Fatalf("CDVFS ladder = %+v", cd)
+	}
+}
+
+func TestNoLimit(t *testing.T) {
+	p := &NoLimit{Cores: 4}
+	a := p.Decide(Input{AMB: 200, DRAM: 200})
+	if a.MemOff || a.ActiveCores != 4 || !math.IsInf(a.BWCapGBps, 1) {
+		t.Fatalf("NoLimit throttled: %+v", a)
+	}
+	p.Reset()
+	if p.Name() != "No-limit" {
+		t.Fatal(p.Name())
+	}
+}
+
+func TestCOMBTable(t *testing.T) {
+	p := NewCOMB(DefaultLevels(), 4)
+	if p.Name() != "DTM-COMB" {
+		t.Fatal(p.Name())
+	}
+	a := p.Decide(Input{AMB: 100, DRAM: 70})
+	if a.ActiveCores != 4 || a.FreqIndex != 0 {
+		t.Fatalf("cold = %+v", a)
+	}
+	a = p.Decide(Input{AMB: 108.5, DRAM: 70})
+	if a.ActiveCores != 3 || a.FreqIndex != 1 {
+		t.Fatalf("L2 = %+v", a)
+	}
+	a = p.Decide(Input{AMB: 109.7, DRAM: 70})
+	if a.ActiveCores != 1 || a.FreqIndex != 3 {
+		t.Fatalf("L4 = %+v", a)
+	}
+	if a := p.Decide(Input{AMB: 111, DRAM: 70}); !a.MemOff {
+		t.Fatal("L5 not off")
+	}
+}

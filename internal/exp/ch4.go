@@ -1,0 +1,292 @@
+// Chapter 4 figures: the simulation study of the DTM schemes.
+
+package exp
+
+import (
+	"dramtherm/internal/dtm"
+	"fmt"
+
+	"dramtherm/internal/core"
+	"dramtherm/internal/fbconfig"
+	"dramtherm/internal/report"
+	"dramtherm/internal/stats"
+)
+
+func init() {
+	register("fig4.2", "DTM-TS performance with varied TRP", fig42)
+	register("fig4.3", "Normalized running time for DTM schemes", fig43)
+	register("fig4.4", "Normalized total memory traffic for DTM schemes", fig44)
+	register("fig4.5", "AMB temperature of DTM-TS, W1, AOHS 1.5", figTemp("fig4.5", "DTM-TS"))
+	register("fig4.6", "AMB temperature of DTM-BW, W1, AOHS 1.5", figTemp("fig4.6", "DTM-BW"))
+	register("fig4.7", "AMB temperature of DTM-ACG, W1, AOHS 1.5", figTemp("fig4.7", "DTM-ACG"))
+	register("fig4.8", "AMB temperature of DTM-CDVFS, W1, AOHS 1.5", figTemp("fig4.8", "DTM-CDVFS"))
+	register("fig4.9", "Normalized FBDIMM energy for DTM schemes", fig49)
+	register("fig4.10", "Normalized processor energy for DTM schemes", fig410)
+	register("fig4.11", "Normalized average running time vs DTM interval", fig411)
+	register("fig4.12", "Normalized running time, integrated thermal model", fig412)
+	register("fig4.13", "Average running time vs thermal interaction degree", fig413)
+	register("fig4.14", "ACG/CDVFS improvement over BW vs interaction degree", fig414)
+}
+
+// coolings returns the two experiment cooling configurations.
+func coolings() []fbconfig.Cooling { return fbconfig.ExperimentCoolings }
+
+func fig42(r *Runner) (Result, error) {
+	res := Result{ID: "fig4.2"}
+	type sweep struct {
+		cooling fbconfig.Cooling
+		isAMB   bool
+		trps    []float64
+	}
+	sweeps := []sweep{
+		{fbconfig.CoolingFDHS10, false, []float64{81, 82, 83, 84, 84.5}},
+		{fbconfig.CoolingAOHS15, true, []float64{106, 107, 108, 109, 109.5}},
+	}
+	for _, sw := range sweeps {
+		kind := "DRAM TRP"
+		if sw.isAMB {
+			kind = "AMB TRP"
+		}
+		fig := report.NewFigure(
+			fmt.Sprintf("Fig 4.2 (%s): DTM-TS normalized runtime vs %s", sw.cooling.Name(), kind),
+			kind+" (C)", "normalized running time")
+		for _, mix := range r.mixes() {
+			var ys []float64
+			for _, trp := range sw.trps {
+				lim := fbconfig.DefaultLimits
+				if sw.isAMB {
+					lim.AMBTRP = trp
+				} else {
+					lim.DRAMTRP = trp
+				}
+				// The TS policy carries its own limits, so it must be
+				// built with the swept TRP (not through NewPolicy, which
+				// uses the system defaults).
+				res2, err := r.runWithPolicy(mix, dtm.NewTS(lim, 4), sw.cooling,
+					core.RunSpec{Limits: lim})
+				if err != nil {
+					return res, err
+				}
+				base, err := r.run(mix, "No-limit", sw.cooling, core.Isolated, core.RunSpec{})
+				if err != nil {
+					return res, err
+				}
+				ys = append(ys, res2.Seconds/base.Seconds)
+			}
+			fig.AddXY(mix.Name, sw.trps, ys)
+		}
+		res.Figures = append(res.Figures, fig)
+	}
+	return res, nil
+}
+
+// schemeSet is the Fig. 4.3/4.4/4.9/4.10 policy list.
+func schemeSet(r *Runner) []string {
+	if r.Quick {
+		return []string{"DTM-TS", "DTM-BW", "DTM-ACG", "DTM-CDVFS"}
+	}
+	return []string{"DTM-TS", "DTM-BW", "DTM-ACG", "DTM-CDVFS",
+		"DTM-BW+PID", "DTM-ACG+PID", "DTM-CDVFS+PID"}
+}
+
+// byScheme runs every (mix, scheme) pair for both coolings and hands the
+// per-run values to get.
+func (r *Runner) byScheme(id, caption, ylabel string,
+	get func(res, ts, base statsIn) float64) (Result, error) {
+	out := Result{ID: id}
+	for _, cool := range coolings() {
+		fig := report.NewFigure(fmt.Sprintf("%s (%s)", caption, cool.Name()), "workload", ylabel)
+		schemes := schemeSet(r)
+		series := make(map[string][]float64, len(schemes))
+		for _, mix := range r.mixes() {
+			base, err := r.run(mix, "No-limit", cool, core.Isolated, core.RunSpec{})
+			if err != nil {
+				return out, err
+			}
+			ts, err := r.run(mix, "DTM-TS", cool, core.Isolated, core.RunSpec{})
+			if err != nil {
+				return out, err
+			}
+			for _, s := range schemes {
+				res, err := r.run(mix, s, cool, core.Isolated, core.RunSpec{})
+				if err != nil {
+					return out, err
+				}
+				series[s] = append(series[s], get(statsIn{res.Seconds, res.TotalTrafficGB(), res.MemEnergyJ, res.CPUEnergyJ},
+					statsIn{ts.Seconds, ts.TotalTrafficGB(), ts.MemEnergyJ, ts.CPUEnergyJ},
+					statsIn{base.Seconds, base.TotalTrafficGB(), base.MemEnergyJ, base.CPUEnergyJ}))
+			}
+		}
+		for _, s := range schemes {
+			ys := series[s]
+			ys = append(ys, stats.Mean(ys)) // final point = average, as in the paper's "avg" bar
+			fig.Add(s, ys)
+		}
+		out.Figures = append(out.Figures, fig)
+	}
+	return out, nil
+}
+
+// statsIn bundles the quantities the byScheme getters need.
+type statsIn struct {
+	Seconds, TrafficGB, MemE, CPUE float64
+}
+
+func fig43(r *Runner) (Result, error) {
+	return r.byScheme("fig4.3", "Fig 4.3: normalized running time", "runtime / No-limit",
+		func(res, ts, base statsIn) float64 { return res.Seconds / base.Seconds })
+}
+
+func fig44(r *Runner) (Result, error) {
+	return r.byScheme("fig4.4", "Fig 4.4: normalized total memory traffic", "traffic / No-limit",
+		func(res, ts, base statsIn) float64 { return res.TrafficGB / base.TrafficGB })
+}
+
+func fig49(r *Runner) (Result, error) {
+	return r.byScheme("fig4.9", "Fig 4.9: normalized FBDIMM energy", "energy / DTM-TS",
+		func(res, ts, base statsIn) float64 { return res.MemE / ts.MemE })
+}
+
+func fig410(r *Runner) (Result, error) {
+	return r.byScheme("fig4.10", "Fig 4.10: normalized processor energy", "energy / DTM-TS",
+		func(res, ts, base statsIn) float64 { return res.CPUE / ts.CPUE })
+}
+
+// figTemp renders the first 1000 s of the AMB temperature trace of one
+// scheme on W1 under AOHS 1.5 (Figs. 4.5–4.8).
+func figTemp(id, scheme string) func(*Runner) (Result, error) {
+	return func(r *Runner) (Result, error) {
+		mix := r.mixes()[0] // W1
+		res, err := r.run(mix, scheme, fbconfig.CoolingAOHS15, core.Isolated, core.RunSpec{})
+		if err != nil {
+			return Result{}, err
+		}
+		tr := res.AMBTrace
+		if len(tr) > 1000 {
+			tr = tr[:1000]
+		}
+		fig := report.NewFigure(
+			fmt.Sprintf("%s: AMB temperature of %s for W1 with AOHS 1.5", id, scheme),
+			"time (s)", "AMB temperature (C)")
+		fig.Add(scheme, tr)
+		return Result{ID: id, Figures: []*report.Figure{fig}}, nil
+	}
+}
+
+func fig411(r *Runner) (Result, error) {
+	out := Result{ID: "fig4.11"}
+	intervals := []float64{0.001, 0.01, 0.02, 0.1}
+	schemes := []string{"DTM-TS", "DTM-BW", "DTM-ACG", "DTM-CDVFS"}
+	for _, cool := range coolings() {
+		fig := report.NewFigure(
+			fmt.Sprintf("Fig 4.11 (%s): normalized avg runtime vs DTM interval", cool.Name()),
+			"DTM interval (ms)", "runtime / 10ms interval")
+		for _, s := range schemes {
+			var ys []float64
+			var ref float64
+			for _, iv := range intervals {
+				var sum float64
+				for _, mix := range r.mixes() {
+					res, err := r.run(mix, s, cool, core.Isolated, core.RunSpec{Interval: iv})
+					if err != nil {
+						return out, err
+					}
+					sum += res.Seconds
+				}
+				if iv == 0.01 {
+					ref = sum
+				}
+				ys = append(ys, sum)
+			}
+			for i := range ys {
+				ys[i] /= ref
+			}
+			fig.AddXY(s, []float64{1, 10, 20, 100}, ys)
+		}
+		out.Figures = append(out.Figures, fig)
+	}
+	return out, nil
+}
+
+func fig412(r *Runner) (Result, error) {
+	out := Result{ID: "fig4.12"}
+	schemes := []string{"DTM-TS", "DTM-BW", "DTM-ACG", "DTM-CDVFS"}
+	for _, cool := range coolings() {
+		fig := report.NewFigure(
+			fmt.Sprintf("Fig 4.12 (%s): normalized runtime, integrated thermal model", cool.Name()),
+			"workload", "runtime / No-limit")
+		series := make(map[string][]float64)
+		for _, mix := range r.mixes() {
+			for _, s := range schemes {
+				n, _, err := r.norm(mix, s, cool, core.Integrated, core.RunSpec{})
+				if err != nil {
+					return out, err
+				}
+				series[s] = append(series[s], n)
+			}
+		}
+		for _, s := range schemes {
+			ys := series[s]
+			ys = append(ys, stats.Mean(ys))
+			fig.Add(s, ys)
+		}
+		out.Figures = append(out.Figures, fig)
+	}
+	return out, nil
+}
+
+// interactionDegrees are the Fig. 4.13/4.14 Ψ_CPU_MEM×ξ settings.
+var interactionDegrees = []float64{1.0, 1.5, 2.0}
+
+func fig413(r *Runner) (Result, error) {
+	out := Result{ID: "fig4.13"}
+	schemes := []string{"DTM-TS", "DTM-BW", "DTM-ACG", "DTM-CDVFS"}
+	cool := fbconfig.CoolingFDHS10
+	fig := report.NewFigure("Fig 4.13 (FDHS 1.0): avg normalized runtime vs thermal interaction degree",
+		"PsiCPU_MEM*xi", "runtime / No-limit")
+	for _, s := range schemes {
+		var ys []float64
+		for _, deg := range interactionDegrees {
+			var ns []float64
+			for _, mix := range r.mixes() {
+				n, _, err := r.norm(mix, s, cool, core.Integrated, core.RunSpec{PsiXi: deg})
+				if err != nil {
+					return out, err
+				}
+				ns = append(ns, n)
+			}
+			ys = append(ys, stats.Mean(ns))
+		}
+		fig.AddXY(s, interactionDegrees, ys)
+	}
+	out.Figures = append(out.Figures, fig)
+	return out, nil
+}
+
+func fig414(r *Runner) (Result, error) {
+	out := Result{ID: "fig4.14"}
+	cool := fbconfig.CoolingFDHS10
+	fig := report.NewFigure("Fig 4.14 (FDHS 1.0): avg improvement over DTM-BW vs interaction degree",
+		"PsiCPU_MEM*xi", "improvement over DTM-BW (%)")
+	for _, s := range []string{"DTM-ACG", "DTM-CDVFS"} {
+		var ys []float64
+		for _, deg := range interactionDegrees {
+			var imps []float64
+			for _, mix := range r.mixes() {
+				bw, err := r.run(mix, "DTM-BW", cool, core.Integrated, core.RunSpec{PsiXi: deg})
+				if err != nil {
+					return out, err
+				}
+				res, err := r.run(mix, s, cool, core.Integrated, core.RunSpec{PsiXi: deg})
+				if err != nil {
+					return out, err
+				}
+				imps = append(imps, (bw.Seconds-res.Seconds)/bw.Seconds*100)
+			}
+			ys = append(ys, stats.Mean(imps))
+		}
+		fig.AddXY(s, interactionDegrees, ys)
+	}
+	out.Figures = append(out.Figures, fig)
+	return out, nil
+}

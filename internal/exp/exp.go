@@ -1,0 +1,230 @@
+// Package exp contains one driver per table and figure of the paper's
+// evaluation (Chapters 3–5). Each driver regenerates the artifact's rows
+// or series from the simulation/emulation substrate and renders it
+// through internal/report. The registry maps experiment IDs ("fig4.3",
+// "table4.4", …) to drivers; cmd/memtherm exposes them on the command
+// line and bench_test.go exposes them as benchmarks.
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"dramtherm/internal/core"
+	"dramtherm/internal/dtm"
+	"dramtherm/internal/fbconfig"
+	"dramtherm/internal/platform"
+	"dramtherm/internal/report"
+	"dramtherm/internal/sim"
+	"dramtherm/internal/trace"
+	"dramtherm/internal/workload"
+)
+
+// Result is a rendered experiment: any number of tables and figures.
+type Result struct {
+	ID      string
+	Tables  []*report.Table
+	Figures []*report.Figure
+}
+
+// String renders everything as text (figures as data table + chart).
+func (r Result) String() string {
+	out := ""
+	for _, t := range r.Tables {
+		out += t.String()
+	}
+	for _, f := range r.Figures {
+		out += f.DataTable().String()
+		out += f.Chart(72, 16)
+		out += "\n"
+	}
+	return out
+}
+
+// Runner carries the shared state all drivers use: one Chapter 4 system
+// and one trace store per Chapter 5 machine, plus memoized level-2 runs
+// so related figures (e.g. 4.3/4.4/4.9/4.10) do not repeat work.
+type Runner struct {
+	Sys *core.System
+
+	// Quick trades fidelity for speed (small batches, fewer mixes);
+	// used by tests and benchmarks.
+	Quick bool
+
+	mu       sync.Mutex
+	runCache map[string]sim.MEMSpotResult
+	pe, sr   platform.Machine
+	peStore  *trace.Store
+	srStore  *trace.Store
+	pfCache  map[string]platform.RunResult
+}
+
+// NewRunner builds a Runner. quick selects the reduced-scale mode.
+func NewRunner(quick bool) *Runner {
+	cfg := core.DefaultConfig()
+	if quick {
+		cfg.Replicas = 2
+	} else {
+		cfg.Replicas = 4
+	}
+	r := &Runner{
+		Sys:      core.NewSystem(cfg),
+		Quick:    quick,
+		runCache: make(map[string]sim.MEMSpotResult),
+		pe:       platform.PE1950(),
+		sr:       platform.SR1500AL(),
+		pfCache:  make(map[string]platform.RunResult),
+	}
+	r.peStore = platform.NewStore(r.pe, 1)
+	r.srStore = platform.NewStore(r.sr, 1)
+	return r
+}
+
+// mixes returns the Chapter 4 mixes, truncated in quick mode.
+func (r *Runner) mixes() []workload.Mix {
+	ms := workload.Chapter4Mixes()
+	if r.Quick {
+		return ms[:2]
+	}
+	return ms
+}
+
+// run executes (and memoizes) one Chapter 4 level-2 run.
+func (r *Runner) run(mix workload.Mix, policyName string, cooling fbconfig.Cooling, model core.ThermalModelKind, spec core.RunSpec) (sim.MEMSpotResult, error) {
+	key := fmt.Sprintf("%s|%s|%s|%v|%v|%v|%v", mix.Name, policyName, cooling.Name(), model,
+		spec.PsiXi, spec.Interval, spec.Limits)
+	r.mu.Lock()
+	if res, ok := r.runCache[key]; ok {
+		r.mu.Unlock()
+		return res, nil
+	}
+	r.mu.Unlock()
+	p, err := r.Sys.NewPolicy(policyName)
+	if err != nil {
+		return sim.MEMSpotResult{}, err
+	}
+	spec.Mix = mix
+	spec.Policy = p
+	spec.Cooling = cooling
+	spec.Model = model
+	res, err := r.Sys.Run(spec)
+	if err != nil {
+		return sim.MEMSpotResult{}, err
+	}
+	r.mu.Lock()
+	r.runCache[key] = res
+	r.mu.Unlock()
+	return res, nil
+}
+
+// runWithPolicy executes (and memoizes) a run with an explicitly built
+// policy, for sweeps whose parameter lives inside the policy itself.
+func (r *Runner) runWithPolicy(mix workload.Mix, p dtm.Policy, cooling fbconfig.Cooling, spec core.RunSpec) (sim.MEMSpotResult, error) {
+	key := fmt.Sprintf("custom|%s|%s|%s|%v", mix.Name, p.Name(), cooling.Name(), spec.Limits)
+	r.mu.Lock()
+	if res, ok := r.runCache[key]; ok {
+		r.mu.Unlock()
+		return res, nil
+	}
+	r.mu.Unlock()
+	spec.Mix = mix
+	spec.Policy = p
+	spec.Cooling = cooling
+	res, err := r.Sys.Run(spec)
+	if err != nil {
+		return sim.MEMSpotResult{}, err
+	}
+	r.mu.Lock()
+	r.runCache[key] = res
+	r.mu.Unlock()
+	return res, nil
+}
+
+// norm returns runtime normalized to the No-limit baseline.
+func (r *Runner) norm(mix workload.Mix, policyName string, cooling fbconfig.Cooling, model core.ThermalModelKind, spec core.RunSpec) (float64, sim.MEMSpotResult, error) {
+	res, err := r.run(mix, policyName, cooling, model, spec)
+	if err != nil {
+		return 0, res, err
+	}
+	base, err := r.run(mix, "No-limit", cooling, model, core.RunSpec{PsiXi: spec.PsiXi})
+	if err != nil {
+		return 0, res, err
+	}
+	return res.Seconds / base.Seconds, res, nil
+}
+
+// pfRun executes (and memoizes) one Chapter 5 platform run.
+func (r *Runner) pfRun(cfg platform.RunConfig) (platform.RunResult, error) {
+	if cfg.RunsPerApp == 0 {
+		if r.Quick {
+			cfg.RunsPerApp = 1
+		} else {
+			cfg.RunsPerApp = 3
+		}
+	}
+	if cfg.SensorSeed == 0 {
+		cfg.SensorSeed = 7
+	}
+	key := fmt.Sprintf("%s|%v|%s|%d|%v|%v|%v|%v|%d", cfg.Machine.Name, cfg.Policy, cfg.Mix.Name,
+		cfg.RunsPerApp, cfg.QuantumS, cfg.AmbientOverride, cfg.TDPOverride, cfg.ForceFreqIdx, cfg.SensorSeed)
+	r.mu.Lock()
+	if res, ok := r.pfCache[key]; ok {
+		r.mu.Unlock()
+		return res, nil
+	}
+	r.mu.Unlock()
+	store := r.peStore
+	if cfg.Machine.Name == r.sr.Name {
+		store = r.srStore
+	}
+	res, err := platform.RunPlatform(cfg, store)
+	if err != nil {
+		return res, err
+	}
+	r.mu.Lock()
+	r.pfCache[key] = res
+	r.mu.Unlock()
+	return res, nil
+}
+
+// Driver is one registered experiment.
+type Driver struct {
+	ID    string
+	Title string
+	Run   func(*Runner) (Result, error)
+}
+
+var registry = map[string]Driver{}
+
+func register(id, title string, fn func(*Runner) (Result, error)) {
+	registry[id] = Driver{ID: id, Title: title, Run: fn}
+}
+
+// Lookup returns the driver for id.
+func Lookup(id string) (Driver, error) {
+	d, ok := registry[id]
+	if !ok {
+		return Driver{}, fmt.Errorf("exp: unknown experiment %q (try `memtherm -list`)", id)
+	}
+	return d, nil
+}
+
+// IDs returns all experiment IDs in a stable order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns all drivers sorted by ID.
+func All() []Driver {
+	out := make([]Driver, 0, len(registry))
+	for _, id := range IDs() {
+		out = append(out, registry[id])
+	}
+	return out
+}

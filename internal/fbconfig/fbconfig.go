@@ -1,0 +1,268 @@
+// Package fbconfig holds the published parameter tables of the paper as
+// typed Go data: the FBDIMM power-model coefficients (Table 3.1), the
+// thermal-resistance/time-constant table (Table 3.2), the ambient-model
+// parameters (Table 3.3), and the architectural simulator parameters
+// (Table 4.1). Other packages consume these values; the experiment drivers
+// also re-print them so the reproduction can be checked against the paper.
+package fbconfig
+
+import "fmt"
+
+// GBps expresses a bandwidth in gigabytes per second.
+type GBps = float64
+
+// Celsius expresses a temperature in degrees Celsius.
+type Celsius = float64
+
+// Watt expresses power in watts.
+type Watt = float64
+
+// Seconds expresses a duration in seconds (the thermal models run on
+// float64 seconds rather than time.Duration for numeric convenience).
+type Seconds = float64
+
+// DRAMPower holds the Micron-derived DRAM chip power model of Eq. 3.1 for
+// one FBDIMM (1GB DDR2-667x8, 110 nm, close page + auto precharge, 20% of
+// time all banks precharged, no low-power modes).
+type DRAMPower struct {
+	Static    Watt // P_DRAM_static, includes refresh
+	ReadCoef  Watt // α1, W per GB/s of read throughput
+	WriteCoef Watt // α2, W per GB/s of write throughput
+}
+
+// AMBPower holds the Intel-derived AMB power model of Eq. 3.2 (Table 3.1).
+type AMBPower struct {
+	IdleLast   Watt // P_AMB_idle for the last DIMM of a channel
+	IdleOther  Watt // P_AMB_idle for any other DIMM
+	BypassCoef Watt // β, W per GB/s of bypass traffic
+	LocalCoef  Watt // γ, W per GB/s of local traffic
+}
+
+// DefaultDRAMPower is the Eq. 3.1 parameterization given in §3.3.
+var DefaultDRAMPower = DRAMPower{Static: 0.98, ReadCoef: 1.12, WriteCoef: 1.16}
+
+// DefaultAMBPower is Table 3.1.
+var DefaultAMBPower = AMBPower{IdleLast: 4.0, IdleOther: 5.1, BypassCoef: 0.19, LocalCoef: 0.75}
+
+// HeatSpreader identifies the FBDIMM heat-spreader type of §3.4.
+type HeatSpreader int
+
+const (
+	// AOHS is the AMB-Only Heat Spreader.
+	AOHS HeatSpreader = iota
+	// FDHS is the Full-DIMM Heat Spreader.
+	FDHS
+)
+
+func (h HeatSpreader) String() string {
+	switch h {
+	case AOHS:
+		return "AOHS"
+	case FDHS:
+		return "FDHS"
+	default:
+		return fmt.Sprintf("HeatSpreader(%d)", int(h))
+	}
+}
+
+// Cooling is one column of Table 3.2: a heat-spreader type plus a cooling
+// air velocity, with the four thermal resistances (°C/W) that follow.
+type Cooling struct {
+	Spreader    HeatSpreader
+	AirVelocity float64 // m/s
+
+	PsiAMB     float64 // Ψ_AMB: AMB → ambient
+	PsiDRAMAMB float64 // Ψ_DRAM_AMB: DRAM power → AMB temperature
+	PsiDRAM    float64 // Ψ_DRAM: DRAM → ambient
+	PsiAMBDRAM float64 // Ψ_AMB_DRAM: AMB power → DRAM temperature
+	TauAMB     Seconds // τ_AMB thermal RC constant
+	TauDRAM    Seconds // τ_DRAM thermal RC constant
+}
+
+// Name returns the paper's shorthand for the configuration, e.g. "AOHS_1.5".
+func (c Cooling) Name() string {
+	return fmt.Sprintf("%s_%.1f", c.Spreader, c.AirVelocity)
+}
+
+// Table 3.2, all six columns. The two bold columns (AOHS 1.5 and FDHS 1.0)
+// are the ones the paper's experiments use.
+var (
+	CoolingAOHS10 = Cooling{AOHS, 1.0, 11.2, 4.3, 4.9, 5.3, 50, 100}
+	CoolingAOHS15 = Cooling{AOHS, 1.5, 9.3, 3.4, 4.0, 4.1, 50, 100}
+	CoolingAOHS30 = Cooling{AOHS, 3.0, 6.6, 2.2, 2.7, 2.6, 50, 100}
+	CoolingFDHS10 = Cooling{FDHS, 1.0, 8.0, 4.4, 4.0, 5.7, 50, 100}
+	CoolingFDHS15 = Cooling{FDHS, 1.5, 7.0, 3.7, 3.3, 4.5, 50, 100}
+	CoolingFDHS30 = Cooling{FDHS, 3.0, 5.5, 2.9, 2.3, 2.9, 50, 100}
+)
+
+// Coolings lists every column of Table 3.2 in paper order.
+var Coolings = []Cooling{
+	CoolingAOHS10, CoolingAOHS15, CoolingAOHS30,
+	CoolingFDHS10, CoolingFDHS15, CoolingFDHS30,
+}
+
+// ExperimentCoolings are the two configurations the paper evaluates
+// (bold columns of Table 3.2).
+var ExperimentCoolings = []Cooling{CoolingAOHS15, CoolingFDHS10}
+
+// Ambient holds the Table 3.3 parameters of the DRAM-ambient model
+// (Eq. 3.6): the system inlet temperature per cooling configuration and the
+// combined interaction coefficient Ψ_CPU_MEM × ξ.
+type Ambient struct {
+	InletFDHS10 Celsius // system inlet temperature under FDHS 1.0
+	InletAOHS15 Celsius // system inlet temperature under AOHS 1.5
+	PsiXi       float64 // Ψ_CPU_MEM × ξ (°C per V·IPC summed over cores)
+	TauCPUDRAM  Seconds // τ of the ambient RC (20 s, §3.5)
+}
+
+// Inlet returns the system inlet temperature for the given cooling
+// configuration, falling back to the AOHS 1.5 value for other columns.
+func (a Ambient) Inlet(c Cooling) Celsius {
+	if c.Spreader == FDHS {
+		return a.InletFDHS10
+	}
+	return a.InletAOHS15
+}
+
+// Table 3.3.
+var (
+	// AmbientIsolated is the isolated-model row: no CPU interaction and a
+	// hotter fixed ambient (45/50 °C) to model a thermally constrained box.
+	AmbientIsolated = Ambient{InletFDHS10: 45, InletAOHS15: 50, PsiXi: 0.0, TauCPUDRAM: 20}
+	// AmbientIntegrated is the integrated-model row: lower inlet (40/45 °C)
+	// plus Ψ_CPU_MEM×ξ = 1.5 CPU preheating.
+	AmbientIntegrated = Ambient{InletFDHS10: 40, InletAOHS15: 45, PsiXi: 1.5, TauCPUDRAM: 20}
+)
+
+// ThermalLimits are the FBDIMM thermal design points of §4.3.3.
+type ThermalLimits struct {
+	AMBTDP  Celsius // 110 °C for the chosen FBDIMM
+	DRAMTDP Celsius // 85 °C
+	AMBTRP  Celsius // thermal release point used by DTM-TS
+	DRAMTRP Celsius
+}
+
+// DefaultLimits reproduces the defaults of §4.4.1: TRP one degree below TDP.
+var DefaultLimits = ThermalLimits{AMBTDP: 110, DRAMTDP: 85, AMBTRP: 109, DRAMTRP: 84}
+
+// DVFSLevel is one processor voltage/frequency operating point.
+type DVFSLevel struct {
+	FreqGHz float64
+	Volt    float64
+}
+
+// SimParams mirrors Table 4.1 (the level-1 simulator parameters).
+type SimParams struct {
+	Cores            int
+	IssueWidth       int
+	ROB              int
+	LQ, SQ           int
+	L1SizeKB         int
+	L1Ways           int
+	L1HitLatency     int // cycles (data)
+	L2SizeKB         int
+	L2Ways           int
+	L2HitLatency     int // cycles
+	LineBytes        int
+	MSHRData         int
+	MSHRL2           int
+	LogicalChannels  int
+	PhysicalChannels int
+	DIMMsPerChannel  int
+	BanksPerDIMM     int
+	ChannelMTps      int     // mega-transfers per second (667)
+	CtrlQueue        int     // memory controller buffer entries
+	CtrlOverheadNS   float64 // fixed controller overhead
+	DTMIntervalMS    float64
+	DTMOverheadUS    float64
+	DVFS             []DVFSLevel
+
+	// DDR2 timing (ns), Table 4.1 "(5-5-5)" plus the extra parameters.
+	TRCD, TCL, TRP       float64
+	TRAS, TRC, TWTR, TWL float64
+	TWPD, TRPD, TRRD     float64
+}
+
+// DefaultSimParams is Table 4.1.
+var DefaultSimParams = SimParams{
+	Cores:            4,
+	IssueWidth:       4,
+	ROB:              196,
+	LQ:               32,
+	SQ:               32,
+	L1SizeKB:         64,
+	L1Ways:           2,
+	L1HitLatency:     3,
+	L2SizeKB:         4096,
+	L2Ways:           8,
+	L2HitLatency:     15,
+	LineBytes:        64,
+	MSHRData:         32,
+	MSHRL2:           64,
+	LogicalChannels:  2,
+	PhysicalChannels: 4,
+	DIMMsPerChannel:  4,
+	BanksPerDIMM:     8,
+	ChannelMTps:      667,
+	CtrlQueue:        64,
+	CtrlOverheadNS:   12,
+	DTMIntervalMS:    10,
+	DTMOverheadUS:    25,
+	DVFS: []DVFSLevel{
+		{3.2, 1.55}, {2.4, 1.35}, {1.6, 1.15}, {0.8, 0.95},
+	},
+	TRCD: 15, TCL: 15, TRP: 15,
+	TRAS: 39, TRC: 54, TWTR: 9, TWL: 12,
+	TWPD: 36, TRPD: 9, TRRD: 9,
+}
+
+// PeakChannelBandwidth returns the theoretical northbound read bandwidth of
+// one physical FBDIMM channel in GB/s: 8 bytes per transfer at ChannelMTps.
+func (p SimParams) PeakChannelBandwidth() GBps {
+	return float64(p.ChannelMTps) * 8 / 1000
+}
+
+// DTMDVFS is the Table 4.3 frequency/voltage ladder used by DTM-CDVFS:
+// 3.2 GHz@1.55 V, 2.4 GHz@1.35 V, 1.6 GHz@1.15 V, 0.8 GHz@0.95 V.
+var DTMDVFS = []DVFSLevel{
+	{FreqGHz: 3.2, Volt: 1.55},
+	{FreqGHz: 2.4, Volt: 1.35},
+	{FreqGHz: 1.6, Volt: 1.15},
+	{FreqGHz: 0.8, Volt: 0.95},
+}
+
+// CPUPower mirrors Table 4.4: power of the 4-core processor per DTM
+// running state. Idle (all cores halted / memory off) draws IdleWatt.
+type CPUPower struct {
+	IdleWatt    Watt // 62 W: four cores at HALT (15.5 W each)
+	PerCoreWatt Watt // 49.5 W increment per active core at full speed
+	MaxWatt     Watt // 260 W: four cores at 3.2 GHz/1.55 V
+	DVFSWatt    map[DVFSLevel]Watt
+}
+
+// DefaultCPUPower reproduces Table 4.4 (derived in §4.4.3 from the Intel
+// Xeon data sheet: 65 W peak per core, 15.5 W halted).
+var DefaultCPUPower = CPUPower{
+	IdleWatt:    62,
+	PerCoreWatt: 49.5,
+	MaxWatt:     260,
+	DVFSWatt: map[DVFSLevel]Watt{
+		{0.8, 0.95}: 80.6,
+		{1.6, 1.15}: 116.5,
+		{2.8, 1.35}: 193.4,
+		{2.4, 1.35}: 193.4, // Table 4.3 labels this level 2.4 GHz; same V level
+		{3.2, 1.55}: 260,
+	},
+}
+
+// ActiveCoresWatt returns Table 4.4's DTM-ACG column: power with n of four
+// cores active at full speed.
+func (c CPUPower) ActiveCoresWatt(n int) Watt {
+	if n <= 0 {
+		return c.IdleWatt
+	}
+	if n > 4 {
+		n = 4
+	}
+	return c.IdleWatt + float64(n)*c.PerCoreWatt
+}

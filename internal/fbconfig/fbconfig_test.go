@@ -1,0 +1,131 @@
+package fbconfig
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTable31 pins the Eq. 3.1/3.2 coefficients to the published values.
+func TestTable31(t *testing.T) {
+	if DefaultDRAMPower != (DRAMPower{Static: 0.98, ReadCoef: 1.12, WriteCoef: 1.16}) {
+		t.Fatalf("DRAM power params changed: %+v", DefaultDRAMPower)
+	}
+	if DefaultAMBPower != (AMBPower{IdleLast: 4.0, IdleOther: 5.1, BypassCoef: 0.19, LocalCoef: 0.75}) {
+		t.Fatalf("AMB power params changed: %+v", DefaultAMBPower)
+	}
+}
+
+// TestTable32 pins the six cooling columns.
+func TestTable32(t *testing.T) {
+	if len(Coolings) != 6 {
+		t.Fatalf("cooling columns = %d", len(Coolings))
+	}
+	c := CoolingAOHS15
+	if c.PsiAMB != 9.3 || c.PsiDRAMAMB != 3.4 || c.PsiDRAM != 4.0 || c.PsiAMBDRAM != 4.1 {
+		t.Fatalf("AOHS 1.5 = %+v", c)
+	}
+	f := CoolingFDHS10
+	if f.PsiAMB != 8.0 || f.PsiDRAMAMB != 4.4 || f.PsiDRAM != 4.0 || f.PsiAMBDRAM != 5.7 {
+		t.Fatalf("FDHS 1.0 = %+v", f)
+	}
+	for _, c := range Coolings {
+		if c.TauAMB != 50 || c.TauDRAM != 100 {
+			t.Fatalf("tau changed: %+v", c)
+		}
+	}
+	if CoolingAOHS15.Name() != "AOHS_1.5" || CoolingFDHS10.Name() != "FDHS_1.0" {
+		t.Fatal("cooling names wrong")
+	}
+	if len(ExperimentCoolings) != 2 {
+		t.Fatal("experiment coolings wrong")
+	}
+}
+
+// TestTable33 pins the ambient-model rows.
+func TestTable33(t *testing.T) {
+	if AmbientIsolated.PsiXi != 0 || AmbientIntegrated.PsiXi != 1.5 {
+		t.Fatal("PsiXi wrong")
+	}
+	if AmbientIsolated.InletAOHS15 != 50 || AmbientIsolated.InletFDHS10 != 45 {
+		t.Fatal("isolated inlets wrong")
+	}
+	if AmbientIntegrated.InletAOHS15 != 45 || AmbientIntegrated.InletFDHS10 != 40 {
+		t.Fatal("integrated inlets wrong")
+	}
+	if AmbientIsolated.Inlet(CoolingAOHS15) != 50 || AmbientIsolated.Inlet(CoolingFDHS10) != 45 {
+		t.Fatal("Inlet dispatch wrong")
+	}
+	if AmbientIsolated.TauCPUDRAM != 20 {
+		t.Fatal("tau_CPU_DRAM wrong")
+	}
+}
+
+func TestLimits(t *testing.T) {
+	l := DefaultLimits
+	if l.AMBTDP != 110 || l.DRAMTDP != 85 || l.AMBTRP != 109 || l.DRAMTRP != 84 {
+		t.Fatalf("limits = %+v", l)
+	}
+}
+
+func TestSimParams(t *testing.T) {
+	p := DefaultSimParams
+	if p.Cores != 4 || p.IssueWidth != 4 || p.ROB != 196 {
+		t.Fatalf("pipeline params wrong: %+v", p)
+	}
+	if p.L2SizeKB != 4096 || p.L2Ways != 8 || p.LineBytes != 64 {
+		t.Fatal("L2 params wrong")
+	}
+	if p.LogicalChannels != 2 || p.PhysicalChannels != 4 || p.DIMMsPerChannel != 4 || p.BanksPerDIMM != 8 {
+		t.Fatal("memory geometry wrong")
+	}
+	if p.TRCD != 15 || p.TCL != 15 || p.TRP != 15 || p.TRAS != 39 || p.TRC != 54 {
+		t.Fatal("DDR2 timing wrong")
+	}
+	// 667 MT/s × 8 B ≈ 5.3 GB/s per physical channel.
+	if bw := p.PeakChannelBandwidth(); math.Abs(bw-5.336) > 0.01 {
+		t.Fatalf("peak channel bandwidth = %v", bw)
+	}
+	if len(p.DVFS) != 4 || p.DVFS[0].FreqGHz != 3.2 {
+		t.Fatal("DVFS table wrong")
+	}
+}
+
+func TestDTMDVFS(t *testing.T) {
+	want := []DVFSLevel{
+		{FreqGHz: 3.2, Volt: 1.55},
+		{FreqGHz: 2.4, Volt: 1.35},
+		{FreqGHz: 1.6, Volt: 1.15},
+		{FreqGHz: 0.8, Volt: 0.95},
+	}
+	for i, lv := range DTMDVFS {
+		if lv != want[i] {
+			t.Fatalf("DTMDVFS[%d] = %+v", i, lv)
+		}
+	}
+}
+
+// TestTable44 pins the processor power table.
+func TestTable44(t *testing.T) {
+	cp := DefaultCPUPower
+	if cp.ActiveCoresWatt(0) != 62 || cp.ActiveCoresWatt(4) != 260 {
+		t.Fatal("ACG power endpoints wrong")
+	}
+	if cp.ActiveCoresWatt(2) != 161 {
+		t.Fatalf("2-core power = %v", cp.ActiveCoresWatt(2))
+	}
+	if cp.ActiveCoresWatt(-1) != 62 || cp.ActiveCoresWatt(9) != 260 {
+		t.Fatal("clamping broken")
+	}
+	if cp.DVFSWatt[DVFSLevel{FreqGHz: 0.8, Volt: 0.95}] != 80.6 {
+		t.Fatal("DVFS power table wrong")
+	}
+}
+
+func TestHeatSpreaderString(t *testing.T) {
+	if AOHS.String() != "AOHS" || FDHS.String() != "FDHS" {
+		t.Fatal("spreader names wrong")
+	}
+	if HeatSpreader(9).String() == "" {
+		t.Fatal("unknown spreader empty")
+	}
+}

@@ -1,0 +1,98 @@
+// Open-page mode: the ablation of the paper's close-page-with-auto-
+// precharge assumption (§3.3). The paper states close page achieves
+// better overall performance for multicore execution; this file lets the
+// claim be tested. In open-page mode a bank keeps its row open after an
+// access: a subsequent access to the same row skips activation (row-buffer
+// hit, tCL only), while a conflict pays precharge + activate.
+
+package fbdimm
+
+// PageMode selects the row-buffer policy of a channel.
+type PageMode int
+
+const (
+	// ClosePage is the paper's default: auto-precharge after every
+	// column access, zero row-buffer hit rate (§3.3).
+	ClosePage PageMode = iota
+	// OpenPage leaves rows open, trading row-buffer hits against
+	// conflict penalties.
+	OpenPage
+)
+
+func (m PageMode) String() string {
+	if m == OpenPage {
+		return "open-page"
+	}
+	return "close-page"
+}
+
+// SetPageMode switches the channel's row-buffer policy. Switching resets
+// all open-row state.
+func (c *Channel) SetPageMode(m PageMode) {
+	c.pageMode = m
+	for i := range c.openRow {
+		c.openRow[i] = -1
+	}
+}
+
+// PageMode returns the active policy.
+func (c *Channel) PageMode() PageMode { return c.pageMode }
+
+// RowStats reports row-buffer outcomes (meaningful in open-page mode).
+func (c *Channel) RowStats() (hits, misses, conflicts uint64) {
+	return c.rowHits, c.rowMisses, c.rowConflicts
+}
+
+// IssueRow schedules a transaction like Issue but with an explicit DRAM
+// row, enabling row-buffer management. In ClosePage mode the row is
+// ignored and behaviour is identical to Issue.
+func (c *Channel) IssueRow(now float64, dimm, bank int, row int64, write bool) float64 {
+	if c.pageMode == ClosePage {
+		return c.Issue(now, dimm, bank, write)
+	}
+	bi := dimm*c.banks + bank
+	hop := c.timing.HopNS * float64(dimm)
+
+	// Determine the access latency components from the row state.
+	var rasToData float64 // command-to-data-valid, excluding link overheads
+	var bankBusy float64  // how long the bank stays unavailable
+	switch {
+	case c.openRow[bi] == row:
+		// Row-buffer hit: column access only.
+		c.rowHits++
+		rasToData = c.timing.TCL
+		bankBusy = c.timing.TCL + c.timing.ReadBurstNS
+	case c.openRow[bi] < 0:
+		// Row closed (first touch): activate then access; keep it open.
+		c.rowMisses++
+		rasToData = c.timing.TRCD + c.timing.TCL
+		bankBusy = c.timing.TRAS
+	default:
+		// Conflict: precharge the open row, activate the new one.
+		c.rowConflicts++
+		rasToData = c.timing.TRP + c.timing.TRCD + c.timing.TCL
+		bankBusy = c.timing.TRP + c.timing.TRAS
+	}
+	c.openRow[bi] = row
+	c.bankFree[bi] = now + bankBusy
+
+	for i := 0; i < dimm; i++ {
+		c.traffic[i].Bypass += 64
+	}
+	if write {
+		c.southFree = now + c.timing.WriteBurstNS
+		c.traffic[dimm].LocalWrite += 64
+		c.writeBytes += 64
+		return now + c.timing.WriteBurstNS + hop
+	}
+	c.southFree = now + c.timing.ClockNS
+	dataValid := now + rasToData + hop + c.timing.AMBFixedNS
+	start := dataValid
+	if c.northFree > start {
+		start = c.northFree
+	}
+	c.northFree = start + c.timing.ReadBurstNS
+	c.traffic[dimm].LocalRead += 64
+	c.readBytes += 64
+	return start + c.timing.ReadBurstNS + hop + c.timing.CtrlOverheadNS
+}

@@ -1,0 +1,94 @@
+package fbdimm
+
+import "testing"
+
+func TestPageModeString(t *testing.T) {
+	if ClosePage.String() != "close-page" || OpenPage.String() != "open-page" {
+		t.Fatal("mode names wrong")
+	}
+}
+
+func TestIssueRowClosePageIdentical(t *testing.T) {
+	a := mustChannel(t, 4, 8)
+	b := mustChannel(t, 4, 8)
+	t1 := a.Issue(0, 1, 2, false)
+	t2 := b.IssueRow(0, 1, 2, 77, false)
+	if t1 != t2 {
+		t.Fatalf("close-page IssueRow differs: %v vs %v", t1, t2)
+	}
+	if h, m, cf := b.RowStats(); h+m+cf != 0 {
+		t.Fatal("close-page tracked row stats")
+	}
+}
+
+func TestOpenPageRowHit(t *testing.T) {
+	c := mustChannel(t, 4, 8)
+	c.SetPageMode(OpenPage)
+	if c.PageMode() != OpenPage {
+		t.Fatal("mode not set")
+	}
+	// First touch: row miss (activation); keep open.
+	first := c.IssueRow(0, 0, 0, 5, false)
+	// Same row much later: row-buffer hit, faster by tRCD.
+	later := 1000.0
+	hit := c.IssueRow(later, 0, 0, 5, false) - later
+	miss := first - 0
+	if hit >= miss {
+		t.Fatalf("row hit (%v) not faster than activation (%v)", hit, miss)
+	}
+	// Different row: conflict, slower than the first-touch activation.
+	conflictAt := 2000.0
+	conflict := c.IssueRow(conflictAt, 0, 0, 9, false) - conflictAt
+	if conflict <= miss {
+		t.Fatalf("conflict (%v) not slower than activation (%v)", conflict, miss)
+	}
+	h, m, cf := c.RowStats()
+	if h != 1 || m != 1 || cf != 1 {
+		t.Fatalf("row stats = %d/%d/%d", h, m, cf)
+	}
+}
+
+func TestSetPageModeResetsRows(t *testing.T) {
+	c := mustChannel(t, 4, 8)
+	c.SetPageMode(OpenPage)
+	c.IssueRow(0, 0, 0, 5, false)
+	c.SetPageMode(OpenPage) // re-set: open rows forgotten
+	at := 500.0
+	c.IssueRow(at, 0, 0, 5, false)
+	_, m, _ := c.RowStats()
+	if m != 2 {
+		t.Fatalf("open-row state survived reset: misses = %d", m)
+	}
+}
+
+// BenchmarkPageModeAblation measures sequential-stream service time under
+// both row-buffer policies — the ablation of the paper's close-page
+// design choice (§3.3). Sequential streams are the best case for open
+// page; the b.ReportMetric output shows the achieved GB/s.
+func BenchmarkPageModeAblation(b *testing.B) {
+	for _, mode := range []PageMode{ClosePage, OpenPage} {
+		b.Run(mode.String(), func(b *testing.B) {
+			c, err := NewChannel(TimingFrom(benchParams()), 4, 8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			c.SetPageMode(mode)
+			now := 0.0
+			issued := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d, bank := i%4, (i/4)%8
+				row := int64(i / 256)
+				for !c.CanIssue(now, d, bank, false) {
+					now += 3
+				}
+				c.IssueRow(now, d, bank, row, false)
+				issued++
+			}
+			b.StopTimer()
+			if now > 0 {
+				b.ReportMetric(float64(issued)*64/now, "GB/s-simulated")
+			}
+		})
+	}
+}

@@ -1,0 +1,27 @@
+package memctrl
+
+import (
+	"testing"
+
+	"dramtherm/internal/fbconfig"
+)
+
+// BenchmarkTick measures the controller scheduling loop under load (the
+// per-DDR2-clock cost of the level-1 memory system).
+func BenchmarkTick(b *testing.B) {
+	c, err := New(DefaultConfig(fbconfig.DefaultSimParams))
+	if err != nil {
+		b.Fatal(err)
+	}
+	addr := uint64(0)
+	now := 0.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for !c.Full() {
+			c.Enqueue(&Request{Addr: addr}, now)
+			addr += 64
+		}
+		c.Tick(now)
+		now += 3
+	}
+}

@@ -1,0 +1,334 @@
+// Package memctrl implements the FBDIMM memory controller of Table 4.1: a
+// 64-entry transaction queue, line-interleaved address mapping across
+// logical channels/banks/DIMMs, first-ready FCFS scheduling over the
+// fbdimm channel model, and the row-activation throttling window that
+// implements bandwidth capping (the DTM-BW actuator, §2.3/§5.2.1).
+package memctrl
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"dramtherm/internal/fbconfig"
+	"dramtherm/internal/fbdimm"
+)
+
+// Request is one 64-byte memory transaction.
+type Request struct {
+	Core  int
+	Addr  uint64
+	Write bool
+	// Speculative marks prefetch/speculative traffic: it heats the memory
+	// but nobody waits for it (§4.4.2: slower cores issue fewer of these).
+	Speculative bool
+
+	channel, dimm, bank int
+	row                 int64
+	enqueued            float64
+}
+
+// Completion reports a finished request.
+type Completion struct {
+	Req  *Request
+	Time float64
+}
+
+// Config sizes the controller.
+type Config struct {
+	Channels         int // logical channels
+	DIMMs            int // per channel
+	Banks            int // per DIMM
+	QueueSize        int
+	Timing           fbdimm.Timing
+	WindowNS         float64 // throttle accounting window
+	MaxIssuesPerTick int
+}
+
+// DefaultConfig derives the controller configuration from Table 4.1.
+func DefaultConfig(p fbconfig.SimParams) Config {
+	return Config{
+		Channels:         p.LogicalChannels,
+		DIMMs:            p.DIMMsPerChannel,
+		Banks:            p.BanksPerDIMM,
+		QueueSize:        p.CtrlQueue,
+		Timing:           fbdimm.TimingFrom(p),
+		WindowNS:         1e5, // 100 µs cap-accounting window
+		MaxIssuesPerTick: 4,
+	}
+}
+
+// Stats aggregates controller activity.
+type Stats struct {
+	ReadBytes   uint64
+	WriteBytes  uint64
+	Enqueued    uint64
+	Rejected    uint64 // enqueue attempts that found the queue full
+	Issued      uint64
+	ThrottleHit uint64 // issue attempts blocked by the bandwidth cap
+	LatencySum  float64
+	LatencyN    uint64
+}
+
+// MeanLatencyNS returns the mean read latency observed.
+func (s Stats) MeanLatencyNS() float64 {
+	if s.LatencyN == 0 {
+		return 0
+	}
+	return s.LatencySum / float64(s.LatencyN)
+}
+
+// Controller is the memory controller plus its channels.
+type Controller struct {
+	cfg      Config
+	channels []*fbdimm.Channel
+
+	queue       []*Request
+	completions completionHeap
+	stats       Stats
+
+	// Bandwidth throttle: a budget of 64B transactions per window.
+	capBytesPerSec float64 // 0 or +Inf = unlimited
+	windowStart    float64
+	windowBudget   float64 // transactions remaining this window
+	budgetValid    bool
+	shutdown       bool // DTM-TS / L5: memory fully stopped
+
+	chBits, dimmBits, bankBits uint
+}
+
+// New builds a controller.
+func New(cfg Config) (*Controller, error) {
+	if cfg.Channels <= 0 || cfg.QueueSize <= 0 {
+		return nil, fmt.Errorf("memctrl: invalid config %+v", cfg)
+	}
+	if cfg.MaxIssuesPerTick <= 0 {
+		cfg.MaxIssuesPerTick = 4
+	}
+	c := &Controller{cfg: cfg, capBytesPerSec: math.Inf(1)}
+	for i := 0; i < cfg.Channels; i++ {
+		ch, err := fbdimm.NewChannel(cfg.Timing, cfg.DIMMs, cfg.Banks)
+		if err != nil {
+			return nil, err
+		}
+		c.channels = append(c.channels, ch)
+	}
+	c.chBits = log2(cfg.Channels)
+	c.dimmBits = log2(cfg.DIMMs)
+	c.bankBits = log2(cfg.Banks)
+	return c, nil
+}
+
+func log2(n int) uint {
+	b := uint(0)
+	for 1<<b < n {
+		b++
+	}
+	return b
+}
+
+// SetBandwidthCap limits aggregate throughput to gbps gigabytes/second
+// (0 or +Inf disables the cap). This models the activation-count window
+// of the Intel 5000X chipset: with close-page mode each transaction is one
+// activation, so capping activations caps bandwidth (§5.2.2).
+func (c *Controller) SetBandwidthCap(gbps float64) {
+	if gbps <= 0 || math.IsInf(gbps, 1) {
+		c.capBytesPerSec = math.Inf(1)
+	} else {
+		c.capBytesPerSec = gbps * 1e9
+	}
+	c.budgetValid = false
+}
+
+// BandwidthCap returns the current cap in GB/s (+Inf when unlimited).
+func (c *Controller) BandwidthCap() float64 {
+	if math.IsInf(c.capBytesPerSec, 1) {
+		return math.Inf(1)
+	}
+	return c.capBytesPerSec / 1e9
+}
+
+// SetPageMode switches every channel's row-buffer policy (the paper's
+// close-page default vs. the open-page ablation).
+func (c *Controller) SetPageMode(m fbdimm.PageMode) {
+	for _, ch := range c.channels {
+		ch.SetPageMode(m)
+	}
+}
+
+// SetShutdown stops (true) or resumes (false) all memory transactions,
+// the DTM-TS actuator. Queued requests stay queued while shut down.
+func (c *Controller) SetShutdown(down bool) { c.shutdown = down }
+
+// Shutdown reports whether the memory system is stopped.
+func (c *Controller) Shutdown() bool { return c.shutdown }
+
+// QueueLen returns the number of waiting requests.
+func (c *Controller) QueueLen() int { return len(c.queue) }
+
+// Full reports whether the queue has no free entry.
+func (c *Controller) Full() bool { return len(c.queue) >= c.cfg.QueueSize }
+
+// Map assigns channel/DIMM/bank from the line address: lines interleave
+// across channels, then banks, then DIMMs (page-ish DIMM interleaving so
+// traffic spreads evenly over the chain, §3.3's even-share assumption).
+func (c *Controller) Map(addr uint64) (channel, dimm, bank int) {
+	line := addr >> 6
+	channel = int(line & uint64(c.cfg.Channels-1))
+	line >>= c.chBits
+	bank = int(line & uint64(c.cfg.Banks-1))
+	line >>= c.bankBits
+	dimm = int(line & uint64(c.cfg.DIMMs-1))
+	return
+}
+
+// Enqueue adds a request at time now. It returns false when the queue is
+// full, in which case the requester must stall and retry.
+func (c *Controller) Enqueue(r *Request, now float64) bool {
+	if len(c.queue) >= c.cfg.QueueSize {
+		c.stats.Rejected++
+		return false
+	}
+	r.channel, r.dimm, r.bank = c.Map(r.Addr)
+	r.row = int64(r.Addr >> 15) // 32 KB row per bank across the ganged pair
+	r.enqueued = now
+	c.queue = append(c.queue, r)
+	c.stats.Enqueued++
+	return true
+}
+
+// refillWindow resets the throttle budget when a new window starts or the
+// cap has changed.
+func (c *Controller) refillWindow(now float64) {
+	if c.budgetValid && now-c.windowStart < c.cfg.WindowNS {
+		return
+	}
+	if !c.budgetValid {
+		c.windowStart = now
+	} else {
+		c.windowStart = now - math.Mod(now-c.windowStart, c.cfg.WindowNS)
+	}
+	c.budgetValid = true
+	if math.IsInf(c.capBytesPerSec, 1) {
+		c.windowBudget = math.Inf(1)
+		return
+	}
+	c.windowBudget = c.capBytesPerSec * c.cfg.WindowNS / 1e9 / 64
+}
+
+// Tick attempts to issue queued requests at time now and returns all
+// completions due at or before now. Call with monotonically nondecreasing
+// times; a typical caller ticks every DDR2 clock (3 ns).
+func (c *Controller) Tick(now float64) []Completion {
+	c.refillWindow(now)
+	if !c.shutdown {
+		issued := 0
+		for i := 0; i < len(c.queue) && issued < c.cfg.MaxIssuesPerTick; i++ {
+			if c.windowBudget < 1 {
+				c.stats.ThrottleHit++
+				break
+			}
+			r := c.queue[i]
+			ch := c.channels[r.channel]
+			if !ch.CanIssue(now, r.dimm, r.bank, r.Write) {
+				continue
+			}
+			done := ch.IssueRow(now, r.dimm, r.bank, r.row, r.Write)
+			if !math.IsInf(c.windowBudget, 1) {
+				c.windowBudget--
+			}
+			c.stats.Issued++
+			if r.Write {
+				c.stats.WriteBytes += 64
+			} else {
+				c.stats.ReadBytes += 64
+				c.stats.LatencySum += done - r.enqueued
+				c.stats.LatencyN++
+			}
+			heap.Push(&c.completions, Completion{Req: r, Time: done})
+			c.queue = append(c.queue[:i], c.queue[i+1:]...)
+			i--
+			issued++
+		}
+	}
+
+	var out []Completion
+	for len(c.completions) > 0 && c.completions[0].Time <= now {
+		out = append(out, heap.Pop(&c.completions).(Completion))
+	}
+	return out
+}
+
+// Drain returns the time by which all in-flight and queued work would
+// finish if ticked continuously from now; used by tests.
+func (c *Controller) Drain(now float64) (float64, []Completion) {
+	var all []Completion
+	t := now
+	for len(c.queue) > 0 || len(c.completions) > 0 {
+		t += c.cfg.Timing.ClockNS
+		all = append(all, c.Tick(t)...)
+		if t > now+1e9 { // 1 s safety bound
+			break
+		}
+	}
+	return t, all
+}
+
+// Stats returns aggregate controller statistics.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// Channels exposes the underlying channels (read-mostly, for traffic
+// accounting by the power model).
+func (c *Controller) Channels() []*fbdimm.Channel { return c.channels }
+
+// TrafficGBps converts the per-DIMM byte counters accumulated since the
+// last ResetStats into *per-physical-DIMM* GB/s over a window of winNS
+// nanoseconds. The logical channel is a ganged pair, so physical traffic
+// is half the logical counters. The result has Channels()×DIMMs entries,
+// channel-major.
+func (c *Controller) TrafficGBps(winNS float64) []PhysDIMMTraffic {
+	out := make([]PhysDIMMTraffic, 0, len(c.channels)*c.cfg.DIMMs)
+	if winNS <= 0 {
+		winNS = 1
+	}
+	scale := 1.0 / (winNS / 1e9) / 1e9 / 2 // bytes→GB/s, halved for ganging
+	for _, ch := range c.channels {
+		for _, t := range ch.Traffic() {
+			out = append(out, PhysDIMMTraffic{
+				LocalReadGBps:  float64(t.LocalRead) * scale,
+				LocalWriteGBps: float64(t.LocalWrite) * scale,
+				BypassGBps:     float64(t.Bypass) * scale,
+			})
+		}
+	}
+	return out
+}
+
+// PhysDIMMTraffic is per-physical-DIMM throughput.
+type PhysDIMMTraffic struct {
+	LocalReadGBps  float64
+	LocalWriteGBps float64
+	BypassGBps     float64
+}
+
+// ResetStats clears throughput/latency counters (in-flight state kept).
+func (c *Controller) ResetStats() {
+	c.stats = Stats{}
+	for _, ch := range c.channels {
+		ch.ResetStats()
+	}
+}
+
+type completionHeap []Completion
+
+func (h completionHeap) Len() int            { return len(h) }
+func (h completionHeap) Less(i, j int) bool  { return h[i].Time < h[j].Time }
+func (h completionHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *completionHeap) Push(x interface{}) { *h = append(*h, x.(Completion)) }
+func (h *completionHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

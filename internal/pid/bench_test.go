@@ -1,0 +1,18 @@
+package pid
+
+import "testing"
+
+// BenchmarkUpdate measures one controller step (invoked once per DTM
+// interval per sensor).
+func BenchmarkUpdate(b *testing.B) {
+	cfg := AMBDefaults()
+	cfg.OutputMin, cfg.OutputMax = -4, 4
+	c, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Update(109.5+float64(i%10)/20, 0.01)
+	}
+}

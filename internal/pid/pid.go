@@ -1,0 +1,149 @@
+// Package pid implements the PID formal controller of §4.2.3 (Eq. 4.1)
+// with the two refinements the paper describes in §4.3.4: the integral
+// term is only enabled once the temperature exceeds an activation
+// threshold, and it is frozen while the control output saturates the
+// actuator (conditional integration anti-windup).
+package pid
+
+import "fmt"
+
+// Config holds the controller gains and operating thresholds.
+type Config struct {
+	Kc float64 // proportional gain
+	KI float64 // integral gain (multiplies the integral of e)
+	KD float64 // differential gain
+
+	Target           float64 // target temperature (°C)
+	IntegralActivate float64 // integral enabled once measurement exceeds this
+
+	OutputMin, OutputMax float64 // actuator saturation bounds on m(t)
+}
+
+// AMBDefaults returns the Chapter 4 AMB controller constants (§4.3.4):
+// Kc=10.4, KI=180.24, KD=0.001, target 109.8 °C, integral activated at
+// 109.0 °C. Output bounds must still be set by the caller to match the
+// actuator's control range.
+func AMBDefaults() Config {
+	return Config{Kc: 10.4, KI: 180.24, KD: 0.001, Target: 109.8, IntegralActivate: 109.0}
+}
+
+// DRAMDefaults returns the Chapter 4 DRAM controller constants (§4.3.4):
+// Kc=12.4, KI=155.12, KD=0.001, target 84.8 °C, integral activated at
+// 84.0 °C.
+func DRAMDefaults() Config {
+	return Config{Kc: 12.4, KI: 155.12, KD: 0.001, Target: 84.8, IntegralActivate: 84.0}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.OutputMax < c.OutputMin {
+		return fmt.Errorf("pid: OutputMax %v < OutputMin %v", c.OutputMax, c.OutputMin)
+	}
+	return nil
+}
+
+// Controller is a discrete-time PID controller. The zero value is not
+// usable; construct with New.
+type Controller struct {
+	cfg      Config
+	integral float64
+	prevErr  float64
+	seeded   bool
+}
+
+// New returns a controller for cfg.
+func New(cfg Config) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Controller{cfg: cfg}, nil
+}
+
+// Config returns the controller's configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// Reset clears controller state (integral and error history).
+func (c *Controller) Reset() {
+	c.integral = 0
+	c.prevErr = 0
+	c.seeded = false
+}
+
+// Integral exposes the accumulated integral term, useful in tests.
+func (c *Controller) Integral() float64 { return c.integral }
+
+// Update advances the controller one step of dt seconds with the measured
+// temperature and returns the (saturated) control output m(t). Following
+// Eq. 4.1 the error is target − measured, so the output decreases
+// (demanding a lower-performance running state) as the measurement
+// approaches and exceeds the target.
+func (c *Controller) Update(measured float64, dt float64) float64 {
+	e := c.cfg.Target - measured
+
+	var deriv float64
+	if c.seeded && dt > 0 {
+		deriv = (e - c.prevErr) / dt
+	}
+
+	// Tentative output with the current integral.
+	raw := c.cfg.Kc * (e + c.cfg.KI*c.integral + c.cfg.KD*deriv)
+	out := clamp(raw, c.cfg.OutputMin, c.cfg.OutputMax)
+
+	// Conditional integration (§4.3.4): accumulate only once the
+	// temperature has crossed the activation threshold, and freeze while
+	// the actuator is saturated (anti-windup). The integral is further
+	// clamped to the throttling direction: with the paper's large KI
+	// (180.24) even a small positive accumulation below the target would
+	// pin the output at full performance until the thermal limit is
+	// violated, so error accumulated below the target may only unwind
+	// previous above-target accumulation, never push past it. This is
+	// the behaviour the paper reports (temperature "sticks around
+	// 109.8 °C and never overshoots").
+	if measured >= c.cfg.IntegralActivate && raw == out {
+		c.integral += e * dt
+		lo := c.cfg.OutputMin / (c.cfg.Kc * c.cfg.KI)
+		if c.cfg.Kc*c.cfg.KI <= 0 {
+			lo = 0
+		}
+		c.integral = clamp(c.integral, lo, 0)
+		raw = c.cfg.Kc * (e + c.cfg.KI*c.integral + c.cfg.KD*deriv)
+		out = clamp(raw, c.cfg.OutputMin, c.cfg.OutputMax)
+	}
+
+	c.prevErr = e
+	c.seeded = true
+	return out
+}
+
+// Level maps the controller output onto one of n discrete running levels,
+// 0 being the highest-performance level and n−1 the most throttled. The
+// output range [OutputMin, OutputMax] is divided evenly; outputs at
+// OutputMax map to level 0.
+func (c *Controller) Level(out float64, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	span := c.cfg.OutputMax - c.cfg.OutputMin
+	if span <= 0 {
+		return 0
+	}
+	frac := (c.cfg.OutputMax - out) / span // 0 at max output, 1 at min
+	lvl := int(frac * float64(n))
+	if lvl >= n {
+		lvl = n - 1
+	}
+	if lvl < 0 {
+		lvl = 0
+	}
+	return lvl
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

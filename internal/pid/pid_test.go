@@ -1,0 +1,172 @@
+package pid
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func ambController(t *testing.T) *Controller {
+	t.Helper()
+	cfg := AMBDefaults()
+	cfg.OutputMin, cfg.OutputMax = -4, 4
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestValidate(t *testing.T) {
+	if _, err := New(Config{OutputMin: 1, OutputMax: -1}); err == nil {
+		t.Fatal("inverted bounds accepted")
+	}
+	if _, err := New(Config{OutputMin: -1, OutputMax: 1}); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestSaturation(t *testing.T) {
+	c := ambController(t)
+	// Far below target: output pinned at max (full performance).
+	if out := c.Update(90, 0.01); out != 4 {
+		t.Fatalf("cold output = %v, want 4", out)
+	}
+	// Far above target: pinned at min (full throttle).
+	c.Reset()
+	if out := c.Update(130, 0.01); out != -4 {
+		t.Fatalf("hot output = %v, want -4", out)
+	}
+}
+
+func TestLevelMapping(t *testing.T) {
+	c := ambController(t)
+	if lv := c.Level(4, 4); lv != 0 {
+		t.Fatalf("max output level = %d", lv)
+	}
+	if lv := c.Level(-4, 4); lv != 3 {
+		t.Fatalf("min output level = %d", lv)
+	}
+	if lv := c.Level(0, 1); lv != 0 {
+		t.Fatalf("single level = %d", lv)
+	}
+	prev := -1
+	for out := 4.0; out >= -4; out -= 0.5 {
+		lv := c.Level(out, 4)
+		if lv < prev {
+			t.Fatalf("level not monotonic in falling output")
+		}
+		prev = lv
+	}
+}
+
+// simulatePlant runs the controller against a first-order thermal plant
+// whose stable temperature depends on the chosen level, and returns the
+// trajectory. Level 0 overheats (stable 115), level 3 cools (stable 105).
+func simulatePlant(c *Controller, steps int) []float64 {
+	stableFor := []float64{115, 111, 108.5, 105}
+	temp := 100.0
+	out := make([]float64, 0, steps)
+	for i := 0; i < steps; i++ {
+		o := c.Update(temp, 0.1)
+		lv := c.Level(o, 4)
+		stable := stableFor[lv]
+		// RC step with tau=50, dt=0.1.
+		temp += (stable - temp) * (1 - 0.998)
+		out = append(out, temp)
+	}
+	return out
+}
+
+// TestRegulation is the §4.3.4 behaviour: the controlled temperature
+// converges near the 109.8 target without exceeding the 110 limit.
+func TestRegulation(t *testing.T) {
+	c := ambController(t)
+	traj := simulatePlant(c, 60000)
+	max := 0.0
+	for _, v := range traj {
+		if v > max {
+			max = v
+		}
+	}
+	if max >= 110 {
+		t.Fatalf("overshoot: max %v", max)
+	}
+	// Late trajectory hugs the target.
+	late := traj[len(traj)-5000:]
+	var sum float64
+	for _, v := range late {
+		sum += v
+	}
+	avg := sum / float64(len(late))
+	if avg < 108.8 || avg > 110 {
+		t.Fatalf("settled at %v, want near 109.8", avg)
+	}
+}
+
+// TestIntegralActivation: below the activation threshold the integral
+// stays zero.
+func TestIntegralActivation(t *testing.T) {
+	c := ambController(t)
+	for i := 0; i < 100; i++ {
+		c.Update(105, 0.1) // below 109.0 activation
+	}
+	if c.Integral() != 0 {
+		t.Fatalf("integral accumulated below activation: %v", c.Integral())
+	}
+}
+
+// TestIntegralClamp: the integral never pushes the output above what the
+// proportional term alone would demand (throttling-only integral).
+func TestIntegralClamp(t *testing.T) {
+	c := ambController(t)
+	for i := 0; i < 1000; i++ {
+		c.Update(109.9, 0.1) // slightly above target: e < 0
+	}
+	if c.Integral() > 0 {
+		t.Fatalf("positive integral: %v", c.Integral())
+	}
+	lo := c.Config().OutputMin / (c.Config().Kc * c.Config().KI)
+	if c.Integral() < lo-1e-9 {
+		t.Fatalf("integral below clamp: %v < %v", c.Integral(), lo)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := ambController(t)
+	c.Update(109.9, 0.1)
+	c.Update(109.9, 0.1)
+	c.Reset()
+	if c.Integral() != 0 {
+		t.Fatal("reset did not clear integral")
+	}
+}
+
+// Property: output always within [OutputMin, OutputMax].
+func TestOutputBoundedProperty(t *testing.T) {
+	c := ambController(t)
+	f := func(temps []uint8) bool {
+		c.Reset()
+		for _, raw := range temps {
+			temp := 80 + float64(raw%50)
+			out := c.Update(temp, 0.1)
+			if out < -4-1e-9 || out > 4+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDRAMDefaults(t *testing.T) {
+	cfg := DRAMDefaults()
+	if cfg.Kc != 12.4 || cfg.KI != 155.12 || cfg.Target != 84.8 {
+		t.Fatalf("DRAM defaults wrong: %+v", cfg)
+	}
+	a := AMBDefaults()
+	if a.Kc != 10.4 || a.KI != 180.24 || a.Target != 109.8 {
+		t.Fatalf("AMB defaults wrong: %+v", a)
+	}
+}

@@ -1,0 +1,213 @@
+package platform
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dramtherm/internal/trace"
+	"dramtherm/internal/workload"
+)
+
+func TestMachines(t *testing.T) {
+	pe, sr := PE1950(), SR1500AL()
+	if pe.Name != "PE1950" || sr.Name != "SR1500AL" {
+		t.Fatal("names wrong")
+	}
+	if pe.AMBTDP != 90 || sr.AMBTDP != 100 {
+		t.Fatal("TDPs wrong (Table 5.1)")
+	}
+	if pe.AMBLevels != [4]float64{76, 80, 84, 88} {
+		t.Fatalf("PE levels = %v", pe.AMBLevels)
+	}
+	if sr.AMBLevels != [4]float64{86, 90, 94, 98} {
+		t.Fatalf("SR levels = %v", sr.AMBLevels)
+	}
+	if pe.BWCaps != [3]float64{4, 3, 2} || sr.BWCaps != [3]float64{5, 4, 3} {
+		t.Fatal("caps wrong (Table 5.1)")
+	}
+	if sr.SystemAmbient != 36 || pe.SystemAmbient != 26 {
+		t.Fatal("ambient temperatures wrong (§5.3.1)")
+	}
+	// Xeon 5160 frequency ladder (§5.2.1).
+	want := []float64{3.000, 2.667, 2.333, 2.000}
+	for i, lv := range pe.CPU.Levels {
+		if lv.FreqGHz != want[i] {
+			t.Fatalf("freq[%d] = %v", i, lv.FreqGHz)
+		}
+	}
+}
+
+func TestLevelOf(t *testing.T) {
+	m := SR1500AL()
+	cases := map[float64]int{80: 0, 87: 1, 91: 2, 95: 3, 99: 4, 120: 4}
+	for amb, want := range cases {
+		if got := levelOf(m, amb); got != want {
+			t.Errorf("levelOf(%v) = %d, want %d", amb, got, want)
+		}
+	}
+}
+
+func TestLevelTables(t *testing.T) {
+	m := SR1500AL()
+	for _, k := range PolicyKinds() {
+		lt := levelTable(m, k)
+		if len(lt) != 5 {
+			t.Fatalf("%v table = %d levels", k, len(lt))
+		}
+		// Level 0 is always full speed.
+		if lt[0].cores != 4 || lt[0].freqIdx != 0 || !math.IsInf(lt[0].cap, 1) {
+			t.Fatalf("%v level0 = %+v", k, lt[0])
+		}
+	}
+	acg := levelTable(m, ACG)
+	if acg[1].cores != 3 || acg[2].cores != 2 {
+		t.Fatal("ACG core ladder wrong")
+	}
+	// ACG keeps at least one core per socket (§5.2.2).
+	for _, rl := range acg {
+		if rl.cores < 2 {
+			t.Fatal("ACG went below 2 cores")
+		}
+	}
+	comb := levelTable(m, COMB)
+	if comb[1].cores != 3 || comb[1].freqIdx != 1 {
+		t.Fatal("COMB ladder wrong")
+	}
+	if kinds := PolicyKinds(); len(kinds) != 5 || kinds[4].String() != "DTM-COMB" {
+		t.Fatal("policy kinds wrong")
+	}
+}
+
+func TestDomainKey(t *testing.T) {
+	k := domainKey([][]string{{"b", "a"}, {"d", "c"}})
+	if k != "a|b/c|d" {
+		t.Fatalf("domainKey = %q", k)
+	}
+	// Socket order is canonicalized too.
+	k2 := domainKey([][]string{{"d", "c"}, {"b", "a"}})
+	if k2 != k {
+		t.Fatalf("socket order not canonical: %q vs %q", k2, k)
+	}
+	if got := domainKey([][]string{{"a"}, {}}); got != "/a" && got != "a/" {
+		t.Fatalf("empty domain = %q", got)
+	}
+}
+
+func TestPlatformLevel1(t *testing.T) {
+	m := SR1500AL()
+	l1 := NewLevel1(m, 1)
+	l1.WarmupNS, l1.MeasureNS = 3e5, 3e5
+	r, err := l1.Build(trace.DesignPoint{Apps: "mgrid|swim/applu|galgel", FreqGHz: 3.0, BWCapGBps: math.Inf(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.PerApp) != 4 {
+		t.Fatalf("PerApp = %v", r.PerApp)
+	}
+	// FSB ceiling binds total throughput.
+	if got := r.TotalGBps(); got > m.FSBGBps*1.15 {
+		t.Fatalf("throughput %v exceeds FSB %v", got, m.FSBGBps)
+	}
+	// Zero/invalid points.
+	z, err := l1.Build(trace.DesignPoint{Apps: "", FreqGHz: 3})
+	if err != nil || z.TotalGBps() != 0 {
+		t.Fatal("empty point not zero")
+	}
+	if _, err := l1.Build(trace.DesignPoint{Apps: "a|b|c/d|e", FreqGHz: 3}); err == nil {
+		t.Fatal("5 apps accepted")
+	}
+}
+
+func tinyRun(t *testing.T, m Machine, k PolicyKind, quantum float64) RunResult {
+	t.Helper()
+	store := NewStore(m, 1)
+	res, err := RunPlatform(RunConfig{
+		Machine: m, Policy: k, Mix: mustMix(t, "W1"),
+		RunsPerApp: 1, InstrScale: 0.01, QuantumS: quantum, SensorSeed: 3,
+	}, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func mustMix(t *testing.T, name string) workload.Mix {
+	t.Helper()
+	m, err := workload.MixByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestServerRunCompletes(t *testing.T) {
+	res := tinyRun(t, SR1500AL(), BW, 0.1)
+	if res.TimedOut || res.Seconds <= 0 || res.Completed != 4 {
+		t.Fatalf("run broken: %+v", res)
+	}
+	if res.AvgCPUWatt <= 0 || res.AvgInletC <= 36 {
+		t.Fatalf("instrumentation broken: cpu %v inlet %v", res.AvgCPUWatt, res.AvgInletC)
+	}
+	var lvl float64
+	for _, s := range res.LevelTimeS {
+		lvl += s
+	}
+	if math.Abs(lvl-res.Seconds) > 1.5 {
+		t.Fatalf("level residency %v vs %v", lvl, res.Seconds)
+	}
+}
+
+// TestQuantumThrashing: a 5 ms quantum increases both L2 misses and
+// runtime over a 100 ms quantum (Fig. 5.15 behaviour).
+func TestQuantumThrashing(t *testing.T) {
+	store := NewStore(PE1950(), 1)
+	run := func(q float64) RunResult {
+		// TDP 72 °C puts the machine deep in thermal emergency so ACG
+		// spends the run in shared-core mode, exposing the quantum cost.
+		res, err := RunPlatform(RunConfig{
+			Machine: PE1950(), Policy: ACG, Mix: mustMix(t, "W1"),
+			RunsPerApp: 1, InstrScale: 0.05, QuantumS: q, SensorSeed: 3,
+			TDPOverride: 72,
+		}, store)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	slow, fast := run(0.005), run(0.1)
+	if slow.L2Misses <= fast.L2Misses {
+		t.Fatalf("small quantum did not raise misses: %v vs %v", slow.L2Misses, fast.L2Misses)
+	}
+	if slow.Seconds < fast.Seconds {
+		t.Fatalf("small quantum ran faster: %v vs %v", slow.Seconds, fast.Seconds)
+	}
+}
+
+func TestRunConfigValidation(t *testing.T) {
+	if _, err := NewServer(RunConfig{Machine: PE1950(), Policy: BW,
+		Mix: workload.Mix{Name: "x", Apps: []string{"nosuch"}}}, NewStore(PE1950(), 1)); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+	if _, err := NewServer(RunConfig{Machine: PE1950(), Policy: BW, Mix: mustMix(t, "W1")}, nil); err == nil {
+		t.Fatal("nil store accepted")
+	}
+}
+
+func TestTDPOverrideShiftsLevels(t *testing.T) {
+	cfg := RunConfig{Machine: PE1950(), Policy: BW, Mix: mustMix(t, "W1"),
+		TDPOverride: 92, RunsPerApp: 1, InstrScale: 0.005}
+	s, err := NewServer(cfg, NewStore(PE1950(), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.m.AMBTDP != 92 || s.m.AMBLevels[0] != 78 {
+		t.Fatalf("override not applied: %+v", s.m)
+	}
+}
+
+func TestPolicyKindString(t *testing.T) {
+	if !strings.HasPrefix(PolicyKind(42).String(), "PolicyKind(") {
+		t.Fatal("unknown kind rendering")
+	}
+}

@@ -1,0 +1,214 @@
+// Package power implements the FBDIMM power model of Chapter 3: the DRAM
+// chip model of Eq. 3.1, the AMB model of Eq. 3.2, channel-level helpers
+// that derive per-DIMM local/bypass traffic from the daisy-chain position,
+// and the processor power model of Table 4.4 / the Xeon 5160 levels used in
+// Chapter 5.
+package power
+
+import (
+	"fmt"
+
+	"dramtherm/internal/fbconfig"
+)
+
+// DIMMTraffic is the per-DIMM throughput decomposition of Fig. 3.2: traffic
+// terminating at this DIMM (local) and traffic passing through its AMB to
+// DIMMs farther down the chain (bypass), plus the read/write split of the
+// local traffic used by the DRAM model.
+type DIMMTraffic struct {
+	LocalRead  fbconfig.GBps
+	LocalWrite fbconfig.GBps
+	Bypass     fbconfig.GBps
+}
+
+// Local returns the total local throughput.
+func (t DIMMTraffic) Local() fbconfig.GBps { return t.LocalRead + t.LocalWrite }
+
+// DRAMWatts evaluates Eq. 3.1 for one DIMM's DRAM chips.
+func DRAMWatts(m fbconfig.DRAMPower, t DIMMTraffic) fbconfig.Watt {
+	return m.Static + m.ReadCoef*t.LocalRead + m.WriteCoef*t.LocalWrite
+}
+
+// AMBWatts evaluates Eq. 3.2 for one AMB. last reports whether the DIMM is
+// the last on its channel (lower idle power, §3.3).
+func AMBWatts(m fbconfig.AMBPower, t DIMMTraffic, last bool) fbconfig.Watt {
+	idle := m.IdleOther
+	if last {
+		idle = m.IdleLast
+	}
+	return idle + m.BypassCoef*t.Bypass + m.LocalCoef*t.Local()
+}
+
+// ChannelTraffic describes one physical channel's aggregate read and write
+// throughput together with how that throughput is spread over the DIMMs.
+// Share[i] is the fraction of channel traffic whose target is DIMM i
+// (i = 0 is closest to the memory controller); shares must sum to ~1.
+type ChannelTraffic struct {
+	Read  fbconfig.GBps
+	Write fbconfig.GBps
+	Share []float64
+}
+
+// EvenShares returns a uniform traffic distribution over n DIMMs, the
+// mapping produced by page interleaving across DIMMs.
+func EvenShares(n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = 1 / float64(n)
+	}
+	return s
+}
+
+// SplitChannel derives each DIMM's DIMMTraffic from channel-level traffic.
+// Bypass at DIMM i is all traffic addressed to DIMMs i+1..n-1: on the
+// southbound link every command/write for a farther DIMM passes through,
+// and on the northbound link every read return from a farther DIMM passes
+// through, so bypass counts both directions (§3.3 treats read and write
+// requests as moving the same command+data volume through an AMB).
+func SplitChannel(ct ChannelTraffic) ([]DIMMTraffic, error) {
+	n := len(ct.Share)
+	if n == 0 {
+		return nil, fmt.Errorf("power: channel has no DIMMs")
+	}
+	var sum float64
+	for _, s := range ct.Share {
+		if s < 0 {
+			return nil, fmt.Errorf("power: negative traffic share %v", s)
+		}
+		sum += s
+	}
+	if sum == 0 {
+		sum = 1 // idle channel: shares irrelevant
+	}
+	total := ct.Read + ct.Write
+	out := make([]DIMMTraffic, n)
+	// Suffix sums give bypass traffic.
+	farther := make([]float64, n+1)
+	for i := n - 1; i >= 0; i-- {
+		farther[i] = farther[i+1] + ct.Share[i]/sum
+	}
+	for i := 0; i < n; i++ {
+		frac := ct.Share[i] / sum
+		out[i] = DIMMTraffic{
+			LocalRead:  ct.Read * frac,
+			LocalWrite: ct.Write * frac,
+			Bypass:     total * farther[i+1],
+		}
+	}
+	return out, nil
+}
+
+// DIMMPower is the evaluated power pair for one DIMM.
+type DIMMPower struct {
+	AMB  fbconfig.Watt
+	DRAM fbconfig.Watt
+}
+
+// ChannelWatts evaluates both models for every DIMM of a channel.
+func ChannelWatts(dp fbconfig.DRAMPower, ap fbconfig.AMBPower, ct ChannelTraffic) ([]DIMMPower, error) {
+	ts, err := SplitChannel(ct)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]DIMMPower, len(ts))
+	for i, t := range ts {
+		out[i] = DIMMPower{
+			AMB:  AMBWatts(ap, t, i == len(ts)-1),
+			DRAM: DRAMWatts(dp, t),
+		}
+	}
+	return out, nil
+}
+
+// CPUState describes the processor operating point for power evaluation.
+type CPUState struct {
+	ActiveCores int
+	TotalCores  int
+	Level       fbconfig.DVFSLevel // ignored when gating-based
+	UseDVFS     bool               // true: Table 4.4 DVFS column; false: ACG column
+}
+
+// CPUWatts evaluates Table 4.4 for the 4-core Chapter 4 processor.
+func CPUWatts(m fbconfig.CPUPower, s CPUState) fbconfig.Watt {
+	if s.UseDVFS {
+		if s.ActiveCores == 0 {
+			return m.IdleWatt
+		}
+		if w, ok := m.DVFSWatt[s.Level]; ok {
+			return w
+		}
+		// Interpolate unknown levels as V² f scaling of the max level.
+		ref := fbconfig.DefaultSimParams.DVFS[0]
+		scale := (s.Level.Volt * s.Level.Volt * s.Level.FreqGHz) /
+			(ref.Volt * ref.Volt * ref.FreqGHz)
+		dyn := (m.MaxWatt - m.IdleWatt) * scale
+		return m.IdleWatt + dyn
+	}
+	return m.ActiveCoresWatt(s.ActiveCores)
+}
+
+// Xeon5160 models the Chapter 5 processors: two dual-core Xeon 5160
+// sockets with four frequency steps. Power numbers are per-socket pairs
+// scaled with V²f from the 80 W TDP at 3.0 GHz / 1.2125 V, plus idle floor.
+type Xeon5160 struct {
+	SocketTDP  fbconfig.Watt // per socket at top level
+	SocketIdle fbconfig.Watt
+	Levels     []fbconfig.DVFSLevel
+}
+
+// DefaultXeon5160 uses data-sheet numbers (§5.2.1 frequency/voltage table).
+var DefaultXeon5160 = Xeon5160{
+	SocketTDP:  80,
+	SocketIdle: 24,
+	Levels: []fbconfig.DVFSLevel{
+		{FreqGHz: 3.000, Volt: 1.2125},
+		{FreqGHz: 2.667, Volt: 1.1625},
+		{FreqGHz: 2.333, Volt: 1.1000},
+		{FreqGHz: 2.000, Volt: 1.0375},
+	},
+}
+
+// Watts returns total power of both sockets with the given numbers of
+// active cores per socket (0..2 each) at DVFS level index li. The dynamic
+// part scales with V²f and with the fraction of active cores; utilization
+// (0..1, fraction of non-stalled cycles) scales the dynamic part further —
+// memory-bound programs clock-gate most functional blocks (§5.4.4).
+func (x Xeon5160) Watts(activePerSocket [2]int, li int, utilization float64) fbconfig.Watt {
+	if li < 0 {
+		li = 0
+	}
+	if li >= len(x.Levels) {
+		li = len(x.Levels) - 1
+	}
+	lv, top := x.Levels[li], x.Levels[0]
+	scale := (lv.Volt * lv.Volt * lv.FreqGHz) / (top.Volt * top.Volt * top.FreqGHz)
+	if utilization < 0 {
+		utilization = 0
+	}
+	if utilization > 1 {
+		utilization = 1
+	}
+	var w fbconfig.Watt
+	for _, n := range activePerSocket {
+		if n < 0 {
+			n = 0
+		}
+		if n > 2 {
+			n = 2
+		}
+		dyn := (x.SocketTDP - x.SocketIdle) * scale * float64(n) / 2
+		// Clock gating on stalled cycles leaves ~35% of dynamic power
+		// (clock tree, L2, uncore keep toggling).
+		eff := 0.35 + 0.65*utilization
+		w += x.SocketIdle + dyn*eff
+	}
+	return w
+}
+
+// Energy integrates power over a window and accumulates joules.
+type Energy struct {
+	Joules float64
+}
+
+// Add accumulates w watts over dt seconds.
+func (e *Energy) Add(w fbconfig.Watt, dt fbconfig.Seconds) { e.Joules += w * dt }

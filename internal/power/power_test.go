@@ -1,0 +1,211 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dramtherm/internal/fbconfig"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestDRAMWattsEq31(t *testing.T) {
+	m := fbconfig.DefaultDRAMPower
+	// Idle DIMM: static only.
+	if got := DRAMWatts(m, DIMMTraffic{}); !almost(got, 0.98) {
+		t.Fatalf("idle DRAM = %v", got)
+	}
+	// 1 GB/s read + 1 GB/s write: 0.98 + 1.12 + 1.16.
+	got := DRAMWatts(m, DIMMTraffic{LocalRead: 1, LocalWrite: 1})
+	if !almost(got, 3.26) {
+		t.Fatalf("DRAM = %v, want 3.26", got)
+	}
+}
+
+func TestAMBWattsEq32(t *testing.T) {
+	m := fbconfig.DefaultAMBPower
+	// Last DIMM idle: 4.0 W; others: 5.1 W (Table 3.1).
+	if got := AMBWatts(m, DIMMTraffic{}, true); !almost(got, 4.0) {
+		t.Fatalf("last idle = %v", got)
+	}
+	if got := AMBWatts(m, DIMMTraffic{}, false); !almost(got, 5.1) {
+		t.Fatalf("other idle = %v", got)
+	}
+	// 2 GB/s local + 3 GB/s bypass: 5.1 + 0.75*2 + 0.19*3.
+	got := AMBWatts(m, DIMMTraffic{LocalRead: 1.5, LocalWrite: 0.5, Bypass: 3}, false)
+	if !almost(got, 5.1+1.5+0.57) {
+		t.Fatalf("AMB = %v", got)
+	}
+}
+
+func TestSplitChannelStructure(t *testing.T) {
+	ct := ChannelTraffic{Read: 3, Write: 1, Share: EvenShares(4)}
+	ts, err := SplitChannel(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 4 {
+		t.Fatalf("got %d DIMMs", len(ts))
+	}
+	// Local traffic conservation.
+	var lr, lw float64
+	for _, d := range ts {
+		lr += d.LocalRead
+		lw += d.LocalWrite
+	}
+	if !almost(lr, 3) || !almost(lw, 1) {
+		t.Fatalf("conservation broken: %v %v", lr, lw)
+	}
+	// Bypass decreases monotonically down the chain; last DIMM has none.
+	for i := 1; i < len(ts); i++ {
+		if ts[i].Bypass > ts[i-1].Bypass {
+			t.Fatalf("bypass not monotonic: %v", ts)
+		}
+	}
+	if ts[3].Bypass != 0 {
+		t.Fatalf("last DIMM has bypass %v", ts[3].Bypass)
+	}
+	// First DIMM bypasses everything for DIMMs 1..3: 3/4 of the total.
+	if !almost(ts[0].Bypass, 4*3.0/4) {
+		t.Fatalf("DIMM0 bypass = %v, want 3", ts[0].Bypass)
+	}
+}
+
+func TestSplitChannelErrors(t *testing.T) {
+	if _, err := SplitChannel(ChannelTraffic{Read: 1}); err == nil {
+		t.Fatal("no DIMMs accepted")
+	}
+	if _, err := SplitChannel(ChannelTraffic{Read: 1, Share: []float64{-1, 2}}); err == nil {
+		t.Fatal("negative share accepted")
+	}
+	// All-zero shares on an idle channel are fine.
+	if _, err := SplitChannel(ChannelTraffic{Share: []float64{0, 0}}); err != nil {
+		t.Fatalf("idle channel rejected: %v", err)
+	}
+}
+
+// Property: total bypass bytes equal sum over DIMMs of traffic to farther
+// DIMMs, for arbitrary shares.
+func TestSplitChannelProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 || len(raw) > 8 {
+			return true
+		}
+		share := make([]float64, len(raw))
+		var sum float64
+		for i, v := range raw {
+			share[i] = float64(v)
+			sum += float64(v)
+		}
+		if sum == 0 {
+			return true
+		}
+		for i := range share {
+			share[i] /= sum
+		}
+		total := 10.0
+		ts, err := SplitChannel(ChannelTraffic{Read: 6, Write: 4, Share: share})
+		if err != nil {
+			return false
+		}
+		for i := range ts {
+			var farther float64
+			for j := i + 1; j < len(ts); j++ {
+				farther += share[j]
+			}
+			if math.Abs(ts[i].Bypass-total*farther) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChannelWatts(t *testing.T) {
+	ps, err := ChannelWatts(fbconfig.DefaultDRAMPower, fbconfig.DefaultAMBPower,
+		ChannelTraffic{Read: 4, Write: 2, Share: EvenShares(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DIMM0 has the most bypass, so the highest AMB power; the last DIMM
+	// has the lowest (no bypass + lower idle).
+	if !(ps[0].AMB > ps[1].AMB && ps[1].AMB > ps[2].AMB && ps[2].AMB > ps[3].AMB) {
+		t.Fatalf("AMB power not decreasing down the chain: %+v", ps)
+	}
+	// Equal local shares: equal DRAM power everywhere.
+	for i := 1; i < 4; i++ {
+		if !almost(ps[i].DRAM, ps[0].DRAM) {
+			t.Fatalf("unequal DRAM power: %+v", ps)
+		}
+	}
+}
+
+func TestCPUWattsTable44(t *testing.T) {
+	cp := fbconfig.DefaultCPUPower
+	// ACG column.
+	for n, want := range map[int]float64{0: 62, 1: 111.5, 2: 161, 3: 210.5, 4: 260} {
+		if got := CPUWatts(cp, CPUState{ActiveCores: n, TotalCores: 4}); !almost(got, want) {
+			t.Fatalf("ACG %d cores = %v, want %v", n, got, want)
+		}
+	}
+	// DVFS column.
+	for lv, want := range map[fbconfig.DVFSLevel]float64{
+		{FreqGHz: 0.8, Volt: 0.95}: 80.6,
+		{FreqGHz: 1.6, Volt: 1.15}: 116.5,
+		{FreqGHz: 2.4, Volt: 1.35}: 193.4,
+		{FreqGHz: 3.2, Volt: 1.55}: 260,
+	} {
+		got := CPUWatts(cp, CPUState{ActiveCores: 4, TotalCores: 4, Level: lv, UseDVFS: true})
+		if !almost(got, want) {
+			t.Fatalf("DVFS %v = %v, want %v", lv, got, want)
+		}
+	}
+	// Unknown level interpolates via V^2 f and stays within bounds.
+	got := CPUWatts(cp, CPUState{ActiveCores: 4, TotalCores: 4,
+		Level: fbconfig.DVFSLevel{FreqGHz: 2.0, Volt: 1.25}, UseDVFS: true})
+	if got <= cp.IdleWatt || got >= cp.MaxWatt {
+		t.Fatalf("interpolated power %v out of range", got)
+	}
+	// DVFS with zero cores = idle.
+	if got := CPUWatts(cp, CPUState{UseDVFS: true}); !almost(got, 62) {
+		t.Fatalf("idle DVFS = %v", got)
+	}
+}
+
+func TestXeon5160(t *testing.T) {
+	x := DefaultXeon5160
+	full := x.Watts([2]int{2, 2}, 0, 1)
+	slow := x.Watts([2]int{2, 2}, 3, 1)
+	if full <= slow {
+		t.Fatalf("DVFS should lower power: %v vs %v", full, slow)
+	}
+	half := x.Watts([2]int{1, 1}, 0, 1)
+	if half >= full {
+		t.Fatalf("gating should lower power: %v vs %v", half, full)
+	}
+	stalled := x.Watts([2]int{2, 2}, 0, 0)
+	if stalled >= full {
+		t.Fatalf("stalled cores should draw less: %v vs %v", stalled, full)
+	}
+	// §5.4.4: memory-bound workloads leave little for ACG to save; the
+	// utilization floor keeps stalled power well above half.
+	if stalled < full*0.4 {
+		t.Fatalf("clock gating model too aggressive: %v vs %v", stalled, full)
+	}
+	// Out-of-range inputs are clamped, not panics.
+	_ = x.Watts([2]int{-1, 5}, -1, 2)
+	_ = x.Watts([2]int{2, 2}, 99, -3)
+}
+
+func TestEnergy(t *testing.T) {
+	var e Energy
+	e.Add(100, 10)
+	e.Add(50, 2)
+	if !almost(e.Joules, 1100) {
+		t.Fatalf("energy = %v", e.Joules)
+	}
+}

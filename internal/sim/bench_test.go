@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"dramtherm/internal/dtm"
+	"dramtherm/internal/trace"
+	"dramtherm/internal/workload"
+)
+
+// BenchmarkLevel1Build measures one level-1 design-point simulation (the
+// unit of trace construction).
+func BenchmarkLevel1Build(b *testing.B) {
+	l1 := NewLevel1(1)
+	l1.WarmupNS, l1.MeasureNS = 3e5, 3e5
+	mix, err := workload.MixByName("W1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	dp := trace.DesignPoint{Apps: trace.CanonApps(mix.Apps), FreqGHz: 3.2, BWCapGBps: math.Inf(1)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l1.Build(dp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMEMSpotSecond measures level-2 simulation speed in simulated
+// seconds per wall second (100 windows of 10 ms per iteration).
+func BenchmarkMEMSpotSecond(b *testing.B) {
+	mix, err := workload.MixByName("W1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	store := trace.NewStore(fastLevel1())
+	cfg := MEMSpotConfig{
+		Mix: mix, Replicas: 1000, Policy: dtm.NewACG(dtm.DefaultLevels(), 4),
+		InstrScale: 1,
+	}
+	ms, err := NewMEMSpot(cfg, store)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for w := 0; w < 100; w++ {
+			if err := ms.step(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

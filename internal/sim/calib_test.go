@@ -1,0 +1,50 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"dramtherm/internal/trace"
+	"dramtherm/internal/workload"
+)
+
+// TestCalibrationReport is a diagnostic: it prints level-1 rates for key
+// design points so throughput calibration against the paper's workload
+// classes (§4.3.2) can be checked with `go test -run Calibration -v`.
+func TestCalibrationReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration report skipped in -short mode")
+	}
+	l1 := NewLevel1(1)
+	mix, err := workload.MixByName("W1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []trace.DesignPoint{
+		{Apps: trace.CanonApps(mix.Apps), FreqGHz: 3.2, BWCapGBps: math.Inf(1)},
+		{Apps: trace.CanonApps(mix.Apps[:3]), FreqGHz: 3.2, BWCapGBps: math.Inf(1)},
+		{Apps: trace.CanonApps(mix.Apps[:2]), FreqGHz: 3.2, BWCapGBps: math.Inf(1)},
+		{Apps: trace.CanonApps(mix.Apps), FreqGHz: 2.4, BWCapGBps: math.Inf(1)},
+		{Apps: trace.CanonApps(mix.Apps), FreqGHz: 0.8, BWCapGBps: math.Inf(1)},
+		{Apps: trace.CanonApps(mix.Apps), FreqGHz: 3.2, BWCapGBps: 6.4},
+		{Apps: trace.CanonApps([]string{"swim", "swim", "swim", "swim"}), FreqGHz: 3.2, BWCapGBps: math.Inf(1)},
+		{Apps: trace.CanonApps([]string{"galgel", "fma3d", "vpr", "apsi"}), FreqGHz: 3.2, BWCapGBps: math.Inf(1)},
+		{Apps: "galgel", FreqGHz: 3.2, BWCapGBps: math.Inf(1)},
+		{Apps: "art", FreqGHz: 3.2, BWCapGBps: math.Inf(1)},
+	}
+	for _, dp := range cases {
+		start := time.Now()
+		r, err := l1.Build(dp)
+		if err != nil {
+			t.Fatalf("build %v: %v", dp, err)
+		}
+		t.Logf("%v: total=%.2f GB/s (r=%.2f w=%.2f) lat=%.0f ns  [%.2fs]",
+			dp, r.TotalGBps(), r.TotalReadGBps, r.TotalWriteGBps, r.MeanLatencyNS, time.Since(start).Seconds())
+		for n, a := range r.PerApp {
+			t.Logf("  %-8s instr=%.2fG/s ipcRef=%.2f read=%.2f write=%.2f missRate=%.2f mb=%.2f",
+				n, a.InstrPerSec/1e9, a.IPCRef, a.ReadGBps, a.WriteGBps,
+				a.L2MissPerSec/a.L2AccessPerSec, a.MemBoundFrac)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"dramtherm/internal/cpu"
+	"dramtherm/internal/dtm"
+	"dramtherm/internal/fbconfig"
+	"dramtherm/internal/memctrl"
+	"dramtherm/internal/trace"
+	"dramtherm/internal/workload"
+)
+
+// TestEvenShareAssumption validates the level-2 simplification that
+// traffic spreads evenly over the DIMMs of a channel: the structural
+// per-DIMM counters of the level-1 FBDIMM simulator must be close to
+// uniform under interleaved mapping.
+func TestEvenShareAssumption(t *testing.T) {
+	params := fbconfig.DefaultSimParams
+	mem, err := memctrl.New(memctrl.DefaultConfig(params))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := cpu.New(cpu.Config{
+		Cores: 4, MaxFreqGHz: 3.2,
+		L2Domain: []int{0, 0, 0, 0}, Params: params,
+	}, mem, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix, _ := workload.MixByName("W1")
+	profs, _ := mix.Profiles()
+	for i, p := range profs {
+		mc.Assign(i, p, 1)
+	}
+	mc.RunFor(1e6)
+	mc.ResetStats()
+	mc.RunFor(1e6)
+	for ci, ch := range mem.Channels() {
+		var total float64
+		locals := make([]float64, ch.DIMMs())
+		for d, tr := range ch.Traffic() {
+			locals[d] = float64(tr.LocalRead + tr.LocalWrite)
+			total += locals[d]
+		}
+		if total == 0 {
+			t.Fatalf("channel %d idle", ci)
+		}
+		for d, l := range locals {
+			frac := l / total
+			if math.Abs(frac-0.25) > 0.05 {
+				t.Errorf("channel %d DIMM %d carries %.3f of traffic, want ≈0.25", ci, d, frac)
+			}
+		}
+	}
+}
+
+// TestACGTrafficMonotonic: gating cores reduces total memory traffic —
+// the mechanism that makes DTM-ACG a thermal actuator.
+func TestACGTrafficMonotonic(t *testing.T) {
+	l1 := NewLevel1(1)
+	l1.WarmupNS, l1.MeasureNS = 1e6, 1e6
+	mix, _ := workload.MixByName("W1")
+	var prev float64 = math.Inf(1)
+	for n := 4; n >= 1; n-- {
+		dp := trace.DesignPoint{
+			Apps:      trace.CanonApps(mix.Apps[:n]),
+			FreqGHz:   3.2,
+			BWCapGBps: math.Inf(1),
+		}
+		r, err := l1.Build(dp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := r.TotalGBps()
+		if got > prev*1.02 {
+			t.Fatalf("%d apps drive %v GB/s, more than %d apps (%v)", n, got, n+1, prev)
+		}
+		prev = got
+	}
+}
+
+// TestFreqTrafficShedding: the lowest DVFS state sheds enough traffic to
+// be thermally sustainable — the property DTM-CDVFS regulation needs
+// (§4.4.2 and the 0.8 GHz analysis in DESIGN.md).
+func TestFreqTrafficShedding(t *testing.T) {
+	l1 := NewLevel1(1)
+	l1.WarmupNS, l1.MeasureNS = 1e6, 1e6
+	mix, _ := workload.MixByName("W1")
+	apps := trace.CanonApps(mix.Apps)
+	get := func(f float64) float64 {
+		r, err := l1.Build(trace.DesignPoint{Apps: apps, FreqGHz: f, BWCapGBps: math.Inf(1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.TotalGBps()
+	}
+	full, slow := get(3.2), get(0.8)
+	if slow >= full {
+		t.Fatalf("0.8 GHz traffic %v not below 3.2 GHz %v", slow, full)
+	}
+	// Thermally sustainable threshold under AOHS 1.5 at 50 °C ambient is
+	// ≈9.6 GB/s (T ≈ 100.8 + 0.95·GB/s, TDP 110).
+	if slow > 10.5 {
+		t.Fatalf("0.8 GHz traffic %v GB/s not thermally sustainable", slow)
+	}
+}
+
+// TestMemBoundedness: the hot mixes are memory-bound at full speed (the
+// premise of the whole DTM study), the cool W8-style mix less so.
+func TestMemBoundedness(t *testing.T) {
+	l1 := NewLevel1(1)
+	l1.WarmupNS, l1.MeasureNS = 1e6, 1e6
+	w1, _ := workload.MixByName("W1")
+	w8, _ := workload.MixByName("W8")
+	mb := func(mix workload.Mix) float64 {
+		r, err := l1.Build(trace.DesignPoint{
+			Apps: trace.CanonApps(mix.Apps), FreqGHz: 3.2, BWCapGBps: math.Inf(1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, a := range r.PerApp {
+			sum += a.MemBoundFrac
+		}
+		return sum / float64(len(r.PerApp))
+	}
+	hot, cool := mb(w1), mb(w8)
+	if hot < 0.5 {
+		t.Fatalf("W1 mem-bound fraction %v too low", hot)
+	}
+	if cool >= hot {
+		t.Fatalf("W8 (%v) as memory-bound as W1 (%v)", cool, hot)
+	}
+}
+
+// TestEnergyConsistency: level-2 FBDIMM energy over a run is bounded
+// below by idle power × time and above by a saturated-system estimate.
+func TestEnergyConsistency(t *testing.T) {
+	cfg := tinyConfig(t, &dtm.NoLimit{Cores: 4})
+	res, err := RunMix(cfg, tinyStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nDIMM := float64(cfg.Params.PhysicalChannels * cfg.Params.DIMMsPerChannel)
+	if cfg.Params.Cores == 0 {
+		nDIMM = 16
+	}
+	idleW := nDIMM * (fbconfig.DefaultAMBPower.IdleLast + fbconfig.DefaultDRAMPower.Static)
+	if res.MemEnergyJ < idleW*res.Seconds*0.9 {
+		t.Fatalf("memory energy %v below idle floor %v", res.MemEnergyJ, idleW*res.Seconds)
+	}
+	maxW := nDIMM * 12.0 // ~12 W per DIMM at saturation
+	if res.MemEnergyJ > maxW*res.Seconds {
+		t.Fatalf("memory energy %v above saturation ceiling", res.MemEnergyJ)
+	}
+}

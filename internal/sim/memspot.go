@@ -1,0 +1,430 @@
+// MEMSpot: the level-2 power/thermal simulator of §4.3.1. It consumes
+// trace.Rates records through a Store (building them on demand via
+// Level1), steps the Chapter 3 power and thermal models in fixed windows,
+// runs the workload batch to completion, and invokes the DTM policy at
+// every DTM interval.
+
+package sim
+
+import (
+	"fmt"
+
+	"math/rand"
+
+	"dramtherm/internal/dtm"
+	"dramtherm/internal/fbconfig"
+	"dramtherm/internal/power"
+	"dramtherm/internal/thermal"
+	"dramtherm/internal/trace"
+	"dramtherm/internal/workload"
+)
+
+// MEMSpotConfig configures one level-2 run.
+type MEMSpotConfig struct {
+	Mix      workload.Mix
+	Replicas int // copies of each application in the batch (paper: 50)
+	Policy   dtm.Policy
+
+	Cooling fbconfig.Cooling
+	Ambient fbconfig.Ambient
+	Limits  fbconfig.ThermalLimits
+	Params  fbconfig.SimParams
+	CPU     fbconfig.CPUPower
+	DVFS    []fbconfig.DVFSLevel
+
+	WindowS       float64 // simulation window (default 10 ms)
+	DTMIntervalS  float64 // policy invocation period (default 10 ms)
+	DTMOverheadS  float64 // per-invocation overhead (default 25 µs)
+	RotatePeriodS float64 // ACG round-robin rotation period (default 100 ms)
+	RecordPeriodS float64 // temperature trace sampling (default 1 s)
+	MaxSeconds    float64 // safety bound (default 50,000 s)
+	InstrScale    float64 // scales application lengths (tests use <1)
+
+	// SensorSeed enables sensor noise when nonzero (Chapter 5 platform
+	// runs); zero keeps the Chapter 4 noiseless simulation sensors.
+	SensorSeed int64
+}
+
+// applyDefaults fills zero fields.
+func (c *MEMSpotConfig) applyDefaults() {
+	if c.Replicas == 0 {
+		c.Replicas = 50
+	}
+	if c.WindowS == 0 {
+		c.WindowS = 0.01
+	}
+	if c.DTMIntervalS == 0 {
+		c.DTMIntervalS = 0.01
+	}
+	if c.DTMOverheadS == 0 {
+		c.DTMOverheadS = 25e-6
+	}
+	if c.RotatePeriodS == 0 {
+		c.RotatePeriodS = 0.1
+	}
+	if c.RecordPeriodS == 0 {
+		c.RecordPeriodS = 1
+	}
+	if c.MaxSeconds == 0 {
+		c.MaxSeconds = 50000
+	}
+	if c.InstrScale == 0 {
+		c.InstrScale = 1
+	}
+	if c.Params.Cores == 0 {
+		c.Params = fbconfig.DefaultSimParams
+	}
+	if c.CPU.MaxWatt == 0 {
+		c.CPU = fbconfig.DefaultCPUPower
+	}
+	if len(c.DVFS) == 0 {
+		c.DVFS = fbconfig.DTMDVFS
+	}
+	if c.Limits.AMBTDP == 0 {
+		c.Limits = fbconfig.DefaultLimits
+	}
+}
+
+// MEMSpotResult aggregates one run.
+type MEMSpotResult struct {
+	Seconds   float64
+	TimedOut  bool
+	Completed int // jobs finished
+
+	ReadGB, WriteGB float64
+	L2Misses        float64
+	L2Accesses      float64
+
+	MemEnergyJ float64
+	CPUEnergyJ float64
+
+	MaxAMB, MaxDRAM float64
+	Overshoots      int // episodes in which a DTM decision observed T ≥ TDP
+
+	// Sampled once per RecordPeriodS.
+	AMBTrace     []float64
+	DRAMTrace    []float64
+	AmbientTrace []float64
+
+	// Residency in seconds.
+	TimeAtCores map[int]float64
+	TimeAtFreq  map[int]float64
+	TimeMemOff  float64
+}
+
+// TotalTrafficGB returns read+write traffic.
+func (r MEMSpotResult) TotalTrafficGB() float64 { return r.ReadGB + r.WriteGB }
+
+// job is one batch entry.
+type job struct {
+	prof      *workload.Profile
+	remaining float64
+	total     float64
+}
+
+// MEMSpot is the level-2 simulator instance.
+type MEMSpot struct {
+	cfg   MEMSpotConfig
+	store *trace.Store
+
+	model   *thermal.Model
+	amb     *thermal.AmbientModel
+	sensor  *thermal.Sensor
+	queue   []*workload.Profile
+	cores   []*job
+	act     dtm.Action
+	hot     bool // currently in an overshoot episode
+	rot     int
+	now     float64
+	nextDTM float64
+	nextRot float64
+	nextRec float64
+
+	res MEMSpotResult
+}
+
+// NewMEMSpot builds a run over the given rate store.
+func NewMEMSpot(cfg MEMSpotConfig, store *trace.Store) (*MEMSpot, error) {
+	cfg.applyDefaults()
+	if store == nil {
+		return nil, fmt.Errorf("sim: nil trace store")
+	}
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("sim: nil policy")
+	}
+	profs, err := cfg.Mix.Profiles()
+	if err != nil {
+		return nil, err
+	}
+
+	m := &MEMSpot{cfg: cfg, store: store}
+	inlet := cfg.Ambient.Inlet(cfg.Cooling)
+	m.amb = thermal.NewAmbientModel(cfg.Ambient, inlet)
+	idle := power.DIMMPower{
+		AMB:  fbconfig.DefaultAMBPower.IdleOther,
+		DRAM: fbconfig.DefaultDRAMPower.Static,
+	}
+	m.model = thermal.NewModel(cfg.Cooling, inlet, cfg.Params.DIMMsPerChannel, idle)
+	if cfg.SensorSeed != 0 {
+		m.sensor = thermal.NewSensor(rand.New(rand.NewSource(cfg.SensorSeed)))
+	}
+
+	// Batch queue: Replicas rounds of the mix in round-robin order
+	// (§4.3.2: jobs assigned to freed cores round-robin).
+	for r := 0; r < cfg.Replicas; r++ {
+		m.queue = append(m.queue, profs...)
+	}
+	m.cores = make([]*job, cfg.Params.Cores)
+	for i := range m.cores {
+		m.dispatch(i)
+	}
+
+	cfg.Policy.Reset()
+	m.act = dtm.Action{BWCapGBps: dtm.NoCap(), ActiveCores: cfg.Params.Cores}
+	m.res.TimeAtCores = make(map[int]float64)
+	m.res.TimeAtFreq = make(map[int]float64)
+	return m, nil
+}
+
+// dispatch pops the next job onto core i, if any.
+func (m *MEMSpot) dispatch(i int) {
+	if len(m.queue) == 0 {
+		m.cores[i] = nil
+		return
+	}
+	p := m.queue[0]
+	m.queue = m.queue[1:]
+	total := p.Instructions() * m.cfg.InstrScale
+	m.cores[i] = &job{prof: p, remaining: total, total: total}
+}
+
+// done reports batch completion.
+func (m *MEMSpot) done() bool {
+	if len(m.queue) > 0 {
+		return false
+	}
+	for _, j := range m.cores {
+		if j != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// gatedSet returns which cores are gated under the current action with
+// round-robin rotation offset.
+func (m *MEMSpot) gatedSet() []bool {
+	n := m.act.ActiveCores
+	c := len(m.cores)
+	if n > c {
+		n = c
+	}
+	if n < 0 {
+		n = 0
+	}
+	gated := make([]bool, c)
+	for k := 0; k < c-n; k++ {
+		gated[(m.rot+k)%c] = true
+	}
+	return gated
+}
+
+// Run executes the batch to completion (or MaxSeconds) and returns the
+// result.
+func (m *MEMSpot) Run() (MEMSpotResult, error) {
+	for !m.done() {
+		if m.now >= m.cfg.MaxSeconds {
+			m.res.TimedOut = true
+			break
+		}
+		if err := m.step(); err != nil {
+			return m.res, err
+		}
+	}
+	m.res.Seconds = m.now
+	return m.res, nil
+}
+
+// step advances one window.
+func (m *MEMSpot) step() error {
+	win := m.cfg.WindowS
+	overheadThisWindow := 0.0
+
+	// DTM decision.
+	if m.now >= m.nextDTM {
+		ambR, dramR := m.model.HottestAMB(), m.model.HottestDRAM()
+		if m.sensor != nil {
+			ambR, dramR = m.sensor.Read(ambR), m.sensor.Read(dramR)
+		}
+		over := ambR >= m.cfg.Limits.AMBTDP || dramR >= m.cfg.Limits.DRAMTDP
+		if over && !m.hot {
+			m.res.Overshoots++
+		}
+		m.hot = over
+		m.act = m.cfg.Policy.Decide(dtm.Input{
+			AMB: ambR, DRAM: dramR, Now: m.now, Dt: m.cfg.DTMIntervalS,
+		})
+		m.nextDTM += m.cfg.DTMIntervalS
+		overheadThisWindow = m.cfg.DTMOverheadS
+	}
+	// ACG rotation for fairness (§4.2.2).
+	if m.now >= m.nextRot {
+		m.rot++
+		m.nextRot += m.cfg.RotatePeriodS
+	}
+
+	gated := m.gatedSet()
+	freqIdx := m.act.FreqIndex
+	if freqIdx < 0 {
+		freqIdx = 0
+	}
+	if freqIdx >= len(m.cfg.DVFS) {
+		freqIdx = len(m.cfg.DVFS) - 1
+	}
+	lv := m.cfg.DVFS[freqIdx]
+
+	// Running combination → design point → rates.
+	names := make([]string, 0, len(m.cores))
+	running := make([]int, 0, len(m.cores))
+	for i, j := range m.cores {
+		if j != nil && !gated[i] {
+			names = append(names, j.prof.Name)
+			running = append(running, i)
+		}
+	}
+	dp := trace.DesignPoint{
+		Apps:      trace.CanonApps(names),
+		FreqGHz:   lv.FreqGHz,
+		BWCapGBps: m.act.BWCapGBps,
+		MemOff:    m.act.MemOff,
+	}
+	rates, err := m.store.Get(dp)
+	if err != nil {
+		return err
+	}
+
+	// Progress and traffic.
+	effWin := win - overheadThisWindow
+	if effWin < 0 {
+		effWin = 0
+	}
+	var readG, writeG float64 // GB/s aggregates
+	activity := make([]thermal.CoreActivity, 0, len(running))
+	for _, i := range running {
+		j := m.cores[i]
+		ar := rates.PerApp[j.prof.Name]
+		if ar.InstrPerSec <= 0 {
+			continue
+		}
+		progress := 1 - j.remaining/j.total
+		mul := j.prof.PhaseMul(progress)
+		den := 1 - ar.MemBoundFrac + ar.MemBoundFrac*mul
+		if den <= 0 {
+			den = 1
+		}
+		rate := ar.InstrPerSec / den
+		ratio := rate / ar.InstrPerSec
+		readG += ar.ReadGBps * mul * ratio
+		writeG += ar.WriteGBps * mul * ratio
+		m.res.L2Misses += ar.L2MissPerSec * mul * ratio * effWin
+		m.res.L2Accesses += ar.L2AccessPerSec * mul * ratio * effWin
+		j.remaining -= rate * effWin
+		activity = append(activity, thermal.CoreActivity{
+			Volt: lv.Volt, IPC: ar.IPCRef * ratio,
+		})
+		if j.remaining <= 0 {
+			m.res.Completed++
+			m.dispatch(i)
+		}
+	}
+	m.res.ReadGB += readG * win
+	m.res.WriteGB += writeG * win
+
+	// Power.
+	perCh := power.ChannelTraffic{
+		Read:  readG / float64(m.cfg.Params.PhysicalChannels),
+		Write: writeG / float64(m.cfg.Params.PhysicalChannels),
+		Share: power.EvenShares(m.cfg.Params.DIMMsPerChannel),
+	}
+	pw, err := power.ChannelWatts(fbconfig.DefaultDRAMPower, fbconfig.DefaultAMBPower, perCh)
+	if err != nil {
+		return err
+	}
+	var memW float64
+	for _, p := range pw {
+		memW += (p.AMB + p.DRAM) * float64(m.cfg.Params.PhysicalChannels)
+	}
+	m.res.MemEnergyJ += memW * win
+
+	cpuW := m.cpuWatts(lv, len(running))
+	m.res.CPUEnergyJ += cpuW * win
+
+	// Thermal.
+	m.model.Ambient = m.amb.Advance(activity, win)
+	if err := m.model.Advance(pw, win); err != nil {
+		return err
+	}
+	if a := m.model.HottestAMB(); a > m.res.MaxAMB {
+		m.res.MaxAMB = a
+	}
+	if d := m.model.HottestDRAM(); d > m.res.MaxDRAM {
+		m.res.MaxDRAM = d
+	}
+
+	// Residency and traces.
+	if m.act.MemOff {
+		m.res.TimeMemOff += win
+	}
+	m.res.TimeAtCores[len(running)] += win
+	m.res.TimeAtFreq[freqIdx] += win
+	if m.now >= m.nextRec {
+		m.res.AMBTrace = append(m.res.AMBTrace, m.model.HottestAMB())
+		m.res.DRAMTrace = append(m.res.DRAMTrace, m.model.HottestDRAM())
+		m.res.AmbientTrace = append(m.res.AmbientTrace, m.amb.T)
+		m.nextRec += m.cfg.RecordPeriodS
+	}
+
+	m.now += win
+	return nil
+}
+
+// cpuWatts evaluates Table 4.4 for the current action.
+func (m *MEMSpot) cpuWatts(lv fbconfig.DVFSLevel, runningCores int) float64 {
+	if m.act.MemOff || runningCores == 0 {
+		// Stalled or fully gated processor: HALT power.
+		return m.cfg.CPU.IdleWatt
+	}
+	if m.act.FreqIndex > 0 {
+		return power.CPUWatts(m.cfg.CPU, power.CPUState{
+			ActiveCores: runningCores, TotalCores: len(m.cores),
+			Level: lv, UseDVFS: true,
+		})
+	}
+	return m.cfg.CPU.ActiveCoresWatt(runningCores)
+}
+
+// RunMix is the high-level helper: build MEMSpot, run it, return results.
+func RunMix(cfg MEMSpotConfig, store *trace.Store) (MEMSpotResult, error) {
+	ms, err := NewMEMSpot(cfg, store)
+	if err != nil {
+		return MEMSpotResult{}, err
+	}
+	return ms.Run()
+}
+
+// NoLimitRuntime runs the mix with the No-limit pseudo-policy and an
+// artificially cold ambient so no thermal constraint binds; it is the
+// normalization baseline of the paper's figures.
+func NoLimitRuntime(cfg MEMSpotConfig, store *trace.Store) (MEMSpotResult, error) {
+	cfg.Policy = &dtm.NoLimit{Cores: coresOf(cfg)}
+	// The baseline machine is identical; only the thermal response is
+	// ignored, which NoLimit already guarantees (it never throttles).
+	return RunMix(cfg, store)
+}
+
+func coresOf(cfg MEMSpotConfig) int {
+	if cfg.Params.Cores > 0 {
+		return cfg.Params.Cores
+	}
+	return fbconfig.DefaultSimParams.Cores
+}

@@ -1,0 +1,206 @@
+// Package thermal implements the Chapter 3 thermal models: the stable
+// AMB/DRAM temperatures of Eqs. 3.3/3.4, the lumped thermal-RC dynamic
+// update of Eq. 3.5, and the integrated DRAM-ambient model of Eq. 3.6
+// (CPU heat pre-heating the memory inlet air). It also provides a thermal
+// sensor model with the quantization/noise artifacts the paper filters.
+package thermal
+
+import (
+	"fmt"
+	"math"
+
+	"dramtherm/internal/fbconfig"
+	"dramtherm/internal/power"
+)
+
+// StableAMB evaluates Eq. 3.3: the steady-state AMB temperature given the
+// DIMM's power pair, the cooling configuration, and the ambient.
+func StableAMB(c fbconfig.Cooling, ambient fbconfig.Celsius, p power.DIMMPower) fbconfig.Celsius {
+	return ambient + p.AMB*c.PsiAMB + p.DRAM*c.PsiDRAMAMB
+}
+
+// StableDRAM evaluates Eq. 3.4: the steady-state temperature of the DRAM
+// chip next to the AMB (the hottest one, §3.4).
+func StableDRAM(c fbconfig.Cooling, ambient fbconfig.Celsius, p power.DIMMPower) fbconfig.Celsius {
+	return ambient + p.AMB*c.PsiAMBDRAM + p.DRAM*c.PsiDRAM
+}
+
+// Step evaluates Eq. 3.5, advancing temperature t toward stable over dt
+// seconds with time constant tau: T(t+Δt) = T + (Tstable−T)(1−e^(−Δt/τ)).
+func Step(t, stable fbconfig.Celsius, dt, tau fbconfig.Seconds) fbconfig.Celsius {
+	if tau <= 0 {
+		return stable
+	}
+	return t + (stable-t)*(1-math.Exp(-dt/tau))
+}
+
+// DIMMState tracks the dynamic temperatures of one DIMM.
+type DIMMState struct {
+	AMB  fbconfig.Celsius
+	DRAM fbconfig.Celsius
+}
+
+// Model is the isolated thermal model of a set of DIMMs (§3.4): no
+// DIMM-to-DIMM interaction, fixed or externally supplied ambient.
+type Model struct {
+	Cooling fbconfig.Cooling
+	Ambient fbconfig.Celsius // current DRAM ambient temperature
+	DIMMs   []DIMMState
+}
+
+// NewModel returns a model with n DIMMs equilibrated at the idle stable
+// point for the given cooling and ambient (so simulations start from a
+// realistic warm-idle state, as the paper's machines do).
+func NewModel(c fbconfig.Cooling, ambient fbconfig.Celsius, n int, idle power.DIMMPower) *Model {
+	m := &Model{Cooling: c, Ambient: ambient, DIMMs: make([]DIMMState, n)}
+	for i := range m.DIMMs {
+		m.DIMMs[i] = DIMMState{
+			AMB:  StableAMB(c, ambient, idle),
+			DRAM: StableDRAM(c, ambient, idle),
+		}
+	}
+	return m
+}
+
+// Advance steps every DIMM dt seconds toward the stable temperatures
+// implied by pw (one power pair per DIMM).
+func (m *Model) Advance(pw []power.DIMMPower, dt fbconfig.Seconds) error {
+	if len(pw) != len(m.DIMMs) {
+		return fmt.Errorf("thermal: %d power entries for %d DIMMs", len(pw), len(m.DIMMs))
+	}
+	for i := range m.DIMMs {
+		sa := StableAMB(m.Cooling, m.Ambient, pw[i])
+		sd := StableDRAM(m.Cooling, m.Ambient, pw[i])
+		m.DIMMs[i].AMB = Step(m.DIMMs[i].AMB, sa, dt, m.Cooling.TauAMB)
+		m.DIMMs[i].DRAM = Step(m.DIMMs[i].DRAM, sd, dt, m.Cooling.TauDRAM)
+	}
+	return nil
+}
+
+// HottestAMB returns the maximum AMB temperature across DIMMs.
+func (m *Model) HottestAMB() fbconfig.Celsius {
+	h := math.Inf(-1)
+	for _, d := range m.DIMMs {
+		if d.AMB > h {
+			h = d.AMB
+		}
+	}
+	return h
+}
+
+// HottestDRAM returns the maximum DRAM temperature across DIMMs.
+func (m *Model) HottestDRAM() fbconfig.Celsius {
+	h := math.Inf(-1)
+	for _, d := range m.DIMMs {
+		if d.DRAM > h {
+			h = d.DRAM
+		}
+	}
+	return h
+}
+
+// CoreActivity is the per-core input of Eq. 3.6.
+type CoreActivity struct {
+	Volt float64
+	IPC  float64 // committed instructions per *reference* cycle (§3.5)
+}
+
+// StableAmbient evaluates Eq. 3.6: the steady-state DRAM ambient given the
+// system inlet temperature and per-core activity.
+func StableAmbient(a fbconfig.Ambient, inlet fbconfig.Celsius, cores []CoreActivity) fbconfig.Celsius {
+	var s float64
+	for _, c := range cores {
+		s += c.Volt * c.IPC
+	}
+	return inlet + a.PsiXi*s
+}
+
+// AmbientModel tracks the dynamic DRAM ambient temperature of §3.5 with
+// its own RC constant (τ = 20 s).
+type AmbientModel struct {
+	Params fbconfig.Ambient
+	Inlet  fbconfig.Celsius
+	T      fbconfig.Celsius
+}
+
+// NewAmbientModel starts the ambient at the idle stable point (no core
+// activity) for the given inlet temperature.
+func NewAmbientModel(p fbconfig.Ambient, inlet fbconfig.Celsius) *AmbientModel {
+	return &AmbientModel{Params: p, Inlet: inlet, T: inlet}
+}
+
+// Advance steps the ambient dt seconds toward the stable value implied by
+// the current core activity and returns the new ambient temperature.
+func (am *AmbientModel) Advance(cores []CoreActivity, dt fbconfig.Seconds) fbconfig.Celsius {
+	stable := StableAmbient(am.Params, am.Inlet, cores)
+	am.T = Step(am.T, stable, dt, am.Params.TauCPUDRAM)
+	return am.T
+}
+
+// Sensor models an AMB-embedded thermal sensor: half-degree quantization,
+// small Gaussian noise, and rare large positive spikes (the artifact the
+// paper removes by dropping the top 0.5% of samples, §5.4.1). A nil Rand
+// disables noise. The sensor reading is reported to the memory controller
+// every 1344 bus cycles on real hardware; Read models an instantaneous
+// sample of the true temperature.
+type Sensor struct {
+	QuantStep float64 // 0 disables quantization
+	NoiseStd  float64
+	SpikeProb float64
+	SpikeMag  float64
+	Rand      interface{ Float64() float64 }
+	normRand  interface{ NormFloat64() float64 }
+}
+
+// NewSensor returns the default sensor: 0.5 °C quantization, 0.2 °C noise,
+// 0.3% spike probability of +6 °C.
+func NewSensor(r interface {
+	Float64() float64
+	NormFloat64() float64
+}) *Sensor {
+	s := &Sensor{QuantStep: 0.5, NoiseStd: 0.2, SpikeProb: 0.003, SpikeMag: 6}
+	if r != nil {
+		s.Rand = r
+		s.normRand = r
+	}
+	return s
+}
+
+// Read samples the sensor at true temperature t.
+func (s *Sensor) Read(t fbconfig.Celsius) fbconfig.Celsius {
+	v := t
+	if s.Rand != nil {
+		if s.NoiseStd > 0 && s.normRand != nil {
+			v += s.normRand.NormFloat64() * s.NoiseStd
+		}
+		if s.SpikeProb > 0 && s.Rand.Float64() < s.SpikeProb {
+			v += s.SpikeMag
+		}
+	}
+	if s.QuantStep > 0 {
+		v = math.Round(v/s.QuantStep) * s.QuantStep
+	}
+	return v
+}
+
+// TimeToReach returns the time for a first-order RC system starting at t0
+// to reach target given a constant stable temperature, or +Inf when the
+// target is unreachable. Used in tests and in reasoning about duty cycles.
+func TimeToReach(t0, target, stable, tau fbconfig.Seconds) fbconfig.Seconds {
+	if (stable > t0) != (target > t0) && target != t0 {
+		return math.Inf(1)
+	}
+	den := stable - target
+	num := stable - t0
+	if num == 0 {
+		if target == t0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	ratio := num / den
+	if ratio <= 0 {
+		return math.Inf(1)
+	}
+	return tau * math.Log(ratio)
+}

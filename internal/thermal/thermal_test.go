@@ -1,0 +1,197 @@
+package thermal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dramtherm/internal/fbconfig"
+	"dramtherm/internal/power"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) < eps }
+
+// TestStableEq33Eq34 checks the stable-temperature equations against hand
+// computation with Table 3.2 (AOHS 1.5) values.
+func TestStableEq33Eq34(t *testing.T) {
+	c := fbconfig.CoolingAOHS15
+	p := power.DIMMPower{AMB: 6.0, DRAM: 2.0}
+	// Eq 3.3: 50 + 6*9.3 + 2*3.4 = 112.6
+	if got := StableAMB(c, 50, p); !almost(got, 112.6, 1e-9) {
+		t.Fatalf("StableAMB = %v", got)
+	}
+	// Eq 3.4: 50 + 6*4.1 + 2*4.0 = 82.6
+	if got := StableDRAM(c, 50, p); !almost(got, 82.6, 1e-9) {
+		t.Fatalf("StableDRAM = %v", got)
+	}
+}
+
+// TestStepEq35 verifies the RC update: after exactly tau seconds the gap
+// closes by 1−1/e.
+func TestStepEq35(t *testing.T) {
+	got := Step(100, 120, 50, 50)
+	want := 100 + 20*(1-math.Exp(-1))
+	if !almost(got, want, 1e-9) {
+		t.Fatalf("Step = %v, want %v", got, want)
+	}
+	// Zero tau jumps to stable.
+	if got := Step(100, 120, 1, 0); got != 120 {
+		t.Fatalf("tau=0 Step = %v", got)
+	}
+}
+
+// Property: Step moves toward stable and never overshoots it.
+func TestStepNoOvershootProperty(t *testing.T) {
+	f := func(t0, stable uint16, dtRaw uint8) bool {
+		start := float64(t0%200) + 20
+		target := float64(stable%200) + 20
+		dt := float64(dtRaw%100) + 0.01
+		next := Step(start, target, dt, 50)
+		if start <= target {
+			return next >= start-1e-9 && next <= target+1e-9
+		}
+		return next <= start+1e-9 && next >= target-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the step update converges to the stable temperature.
+func TestStepConvergence(t *testing.T) {
+	temp := 60.0
+	for i := 0; i < 10000; i++ {
+		temp = Step(temp, 110, 0.1, 50)
+	}
+	if !almost(temp, 110, 0.01) {
+		t.Fatalf("did not converge: %v", temp)
+	}
+}
+
+func TestModelAdvance(t *testing.T) {
+	c := fbconfig.CoolingAOHS15
+	idle := power.DIMMPower{AMB: 5.1, DRAM: 0.98}
+	m := NewModel(c, 50, 4, idle)
+	// Initially equilibrated at the idle stable point.
+	idleStable := StableAMB(c, 50, idle)
+	if !almost(m.HottestAMB(), idleStable, 1e-9) {
+		t.Fatalf("initial AMB = %v, want %v", m.HottestAMB(), idleStable)
+	}
+	// Heating with hot power raises all temperatures monotonically.
+	hot := []power.DIMMPower{{AMB: 7, DRAM: 2}, {AMB: 7, DRAM: 2}, {AMB: 7, DRAM: 2}, {AMB: 7, DRAM: 2}}
+	prev := m.HottestAMB()
+	for i := 0; i < 20; i++ {
+		if err := m.Advance(hot, 5); err != nil {
+			t.Fatal(err)
+		}
+		if m.HottestAMB() < prev-1e-9 {
+			t.Fatalf("temperature fell while heating")
+		}
+		prev = m.HottestAMB()
+	}
+	if m.HottestDRAM() <= 0 {
+		t.Fatal("DRAM temperature missing")
+	}
+	// Wrong power slice length errors.
+	if err := m.Advance(hot[:2], 1); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestAmbientModelEq36(t *testing.T) {
+	a := fbconfig.AmbientIntegrated
+	cores := []CoreActivity{{Volt: 1.55, IPC: 0.5}, {Volt: 1.55, IPC: 0.5}}
+	// Eq 3.6: inlet + 1.5 * (2 * 1.55 * 0.5) = inlet + 2.325
+	if got := StableAmbient(a, 45, cores); !almost(got, 47.325, 1e-9) {
+		t.Fatalf("StableAmbient = %v", got)
+	}
+	am := NewAmbientModel(a, 45)
+	if am.T != 45 {
+		t.Fatalf("initial ambient = %v", am.T)
+	}
+	for i := 0; i < 1000; i++ {
+		am.Advance(cores, 1)
+	}
+	if !almost(am.T, 47.325, 0.01) {
+		t.Fatalf("ambient did not converge: %v", am.T)
+	}
+	// Isolated model: zero interaction coefficient → ambient constant.
+	iso := NewAmbientModel(fbconfig.AmbientIsolated, 50)
+	iso.Advance(cores, 100)
+	if iso.T != 50 {
+		t.Fatalf("isolated ambient moved: %v", iso.T)
+	}
+}
+
+func TestSensor(t *testing.T) {
+	// Noiseless sensor quantizes to half degrees.
+	s := &Sensor{QuantStep: 0.5}
+	if got := s.Read(100.26); got != 100.5 {
+		t.Fatalf("quantized = %v", got)
+	}
+	if got := s.Read(100.24); got != 100.0 {
+		t.Fatalf("quantized = %v", got)
+	}
+	// Noisy sensor stays near the truth and occasionally spikes high.
+	ns := NewSensor(rand.New(rand.NewSource(1)))
+	spikes, n := 0, 20000
+	for i := 0; i < n; i++ {
+		v := ns.Read(100)
+		if v > 103 {
+			spikes++
+		}
+		if v < 95 || v > 110 {
+			t.Fatalf("reading %v implausible", v)
+		}
+	}
+	if spikes == 0 {
+		t.Fatal("no sensor spikes generated")
+	}
+	if float64(spikes)/float64(n) > 0.02 {
+		t.Fatalf("too many spikes: %d/%d", spikes, n)
+	}
+}
+
+func TestTimeToReach(t *testing.T) {
+	// From 100 toward stable 120, reaching 110 takes tau*ln(20/10).
+	got := TimeToReach(100, 110, 120, 50)
+	if !almost(got, 50*math.Ln2, 1e-9) {
+		t.Fatalf("TimeToReach = %v", got)
+	}
+	// Unreachable target (cooling but target above start).
+	if !math.IsInf(TimeToReach(100, 110, 90, 50), 1) {
+		t.Fatal("unreachable target not Inf")
+	}
+	if got := TimeToReach(100, 100, 120, 50); got != 0 {
+		t.Fatalf("zero-distance = %v", got)
+	}
+}
+
+// TestPaperPremise reproduces the §3.4 arithmetic that motivates the
+// whole paper: with Table 3.2 resistances, a memory-intensive channel
+// (≈16 GB/s total) exceeds the 110 °C AMB TDP under AOHS 1.5, while an
+// idle one stays below the thermal release point.
+func TestPaperPremise(t *testing.T) {
+	c := fbconfig.CoolingAOHS15
+	hot, err := power.ChannelWatts(fbconfig.DefaultDRAMPower, fbconfig.DefaultAMBPower,
+		power.ChannelTraffic{Read: 3, Write: 1, Share: power.EvenShares(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := StableAMB(c, 50, hot[0]); got <= 110 {
+		t.Fatalf("hot channel stable AMB %v should exceed the 110C TDP", got)
+	}
+	idle := power.DIMMPower{AMB: 5.1, DRAM: 0.98}
+	if got := StableAMB(c, 50, idle); got >= 109 {
+		t.Fatalf("idle stable AMB %v should be below the TRP", got)
+	}
+	// Under FDHS 1.0 the DRAM devices bind first (§4.4.1).
+	f := fbconfig.CoolingFDHS10
+	if dram := StableDRAM(f, 45, hot[0]); dram <= 85 {
+		t.Fatalf("FDHS hot DRAM %v should exceed 85C", dram)
+	}
+	if amb := StableAMB(f, 45, hot[0]); amb >= 110 {
+		t.Fatalf("FDHS hot AMB %v should stay below 110C", amb)
+	}
+}
