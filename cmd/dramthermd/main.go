@@ -1,0 +1,104 @@
+// Command dramthermd serves the DRAM thermal simulator over HTTP/JSON:
+// simulation-as-a-service on top of internal/sweep. Concurrent requests
+// for the same run spec share one simulation; distinct specs run in
+// parallel on a bounded worker pool.
+//
+// Usage:
+//
+//	dramthermd -addr :8080
+//	dramthermd -addr :8080 -workers 8 -state /var/lib/dramtherm/state.gob
+//
+// Endpoints:
+//
+//	GET  /v1/healthz    liveness + run-cache statistics
+//	POST /v1/runs       async submit: {"mix":"W1","policy":"DTM-ACG"} → {"id":"run-1"}
+//	GET  /v1/runs/{id}  job status/result
+//	POST /v1/sweeps     sync grid sweep, e.g.
+//	                    {"grid":{"mixes":["W1","W2"],"policies":["DTM-TS","DTM-BW"]},
+//	                     "normalize":true}
+//
+// On SIGINT/SIGTERM the server shuts down gracefully: it stops accepting
+// requests, cancels in-flight simulations, and (with -state) persists the
+// run cache and level-1 trace store for a warm restart.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dramtherm/internal/core"
+	"dramtherm/internal/sweep"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "simulation worker pool width (0 = GOMAXPROCS)")
+		replicas = flag.Int("replicas", 0, "batch copies per application (0 = Chapter 4 default)")
+		scale    = flag.Float64("instrscale", 0, "application length scale factor (0 = 1.0; small values for demos)")
+		state    = flag.String("state", "", "gob state file: loaded at startup if present, saved on shutdown")
+	)
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	if *replicas > 0 {
+		cfg.Replicas = *replicas
+	}
+	if *scale > 0 {
+		cfg.InstrScale = *scale
+	}
+	eng := sweep.NewEngine(core.NewSystem(cfg), *workers)
+
+	if *state != "" {
+		switch loaded, err := eng.LoadStateFile(*state); {
+		case err != nil:
+			log.Printf("state %s not loaded: %v", *state, err)
+		case loaded:
+			log.Printf("state %s loaded: %d trace records", *state, eng.System().Store().Len())
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := &http.Server{
+		Addr:        *addr,
+		Handler:     newServer(ctx, eng),
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("dramthermd listening on %s (workers=%d, config %s)",
+			*addr, *workers, eng.System().ConfigDigest())
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+
+	if *state != "" {
+		if err := eng.SaveStateFile(*state); err != nil {
+			log.Printf("state %s not saved: %v", *state, err)
+		} else {
+			log.Printf("state saved to %s", *state)
+		}
+	}
+}

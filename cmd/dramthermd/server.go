@@ -1,0 +1,243 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"dramtherm/internal/sim"
+	"dramtherm/internal/sweep"
+)
+
+// server exposes a sweep.Engine over HTTP/JSON:
+//
+//	POST /v1/runs       submit one run asynchronously → {"id": ...}
+//	GET  /v1/runs/{id}  job status and, when done, the result summary
+//	POST /v1/sweeps     execute a spec list or grid synchronously
+//	GET  /v1/healthz    liveness + cache statistics
+type server struct {
+	eng *sweep.Engine
+	mux *http.ServeMux
+
+	// base is the lifetime context of asynchronous jobs; cancelling it
+	// (server shutdown) aborts in-flight simulations.
+	base context.Context
+
+	mu     sync.Mutex
+	nextID int
+	jobs   map[string]*jobState
+}
+
+// jobState is one asynchronous run.
+type jobState struct {
+	ID        string      `json:"id"`
+	Spec      sweep.Spec  `json:"spec"`
+	Status    string      `json:"status"` // "running", "done", "error"
+	Error     string      `json:"error,omitempty"`
+	Result    *runSummary `json:"result,omitempty"`
+	Submitted time.Time   `json:"submitted"`
+	Finished  *time.Time  `json:"finished,omitempty"`
+}
+
+// runSummary is the wire form of a result: the scalar aggregates without
+// the (potentially long) temperature traces.
+type runSummary struct {
+	Seconds    float64 `json:"seconds"`
+	Normalized float64 `json:"normalized,omitempty"`
+	TimedOut   bool    `json:"timed_out,omitempty"`
+	Completed  int     `json:"completed"`
+	ReadGB     float64 `json:"read_gb"`
+	WriteGB    float64 `json:"write_gb"`
+	MemEnergyJ float64 `json:"mem_energy_j"`
+	CPUEnergyJ float64 `json:"cpu_energy_j"`
+	MaxAMB     float64 `json:"max_amb_c"`
+	MaxDRAM    float64 `json:"max_dram_c"`
+	Overshoots int     `json:"overshoots"`
+}
+
+func summarize(r sim.MEMSpotResult) *runSummary {
+	return &runSummary{
+		Seconds:    r.Seconds,
+		TimedOut:   r.TimedOut,
+		Completed:  r.Completed,
+		ReadGB:     r.ReadGB,
+		WriteGB:    r.WriteGB,
+		MemEnergyJ: r.MemEnergyJ,
+		CPUEnergyJ: r.CPUEnergyJ,
+		MaxAMB:     r.MaxAMB,
+		MaxDRAM:    r.MaxDRAM,
+		Overshoots: r.Overshoots,
+	}
+}
+
+// newServer wires the routes. base bounds the lifetime of async jobs.
+func newServer(base context.Context, eng *sweep.Engine) *server {
+	s := &server{
+		eng:  eng,
+		mux:  http.NewServeMux(),
+		base: base,
+		jobs: make(map[string]*jobState),
+	}
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("POST /v1/runs", s.handleSubmitRun)
+	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleGetRun)
+	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // nothing to do about a dead client
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	jobs := len(s.jobs)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"jobs":   jobs,
+		"cache":  s.eng.Stats(),
+	})
+}
+
+func (s *server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
+	var spec sweep.Spec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding spec: %w", err))
+		return
+	}
+	// Validate now so the client gets a 400 rather than a failed job.
+	if err := s.eng.Validate(spec); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	s.nextID++
+	job := &jobState{
+		ID:        fmt.Sprintf("run-%d", s.nextID),
+		Spec:      spec,
+		Status:    "running",
+		Submitted: time.Now(),
+	}
+	s.jobs[job.ID] = job
+	s.mu.Unlock()
+
+	go func() {
+		res, err := s.eng.Run(s.base, spec)
+		now := time.Now()
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		job.Finished = &now
+		if err != nil {
+			job.Status = "error"
+			job.Error = err.Error()
+			return
+		}
+		job.Status = "done"
+		job.Result = summarize(res)
+	}()
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": job.ID})
+}
+
+func (s *server) handleGetRun(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	job, ok := s.jobs[r.PathValue("id")]
+	var snapshot jobState
+	if ok {
+		snapshot = *job
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, snapshot)
+}
+
+// sweepRequest is the POST /v1/sweeps body: either an explicit spec list
+// or a grid to expand (or both, concatenated).
+type sweepRequest struct {
+	Specs     []sweep.Spec `json:"specs,omitempty"`
+	Grid      *sweep.Grid  `json:"grid,omitempty"`
+	Normalize bool         `json:"normalize,omitempty"`
+}
+
+// sweepResponse reports per-spec summaries plus the aggregate table.
+type sweepResponse struct {
+	Count   int           `json:"count"`
+	Results []sweepResult `json:"results"`
+	Table   tableJSON     `json:"table"`
+	Cache   sweep.Stats   `json:"cache"`
+	Wall    float64       `json:"wall_seconds"`
+}
+
+type sweepResult struct {
+	Spec    sweep.Spec  `json:"spec"`
+	Summary *runSummary `json:"summary"`
+}
+
+type tableJSON struct {
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+}
+
+func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req sweepRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding sweep: %w", err))
+		return
+	}
+	specs := req.Specs
+	if req.Grid != nil {
+		specs = append(specs, req.Grid.Expand()...)
+	}
+	if len(specs) == 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("empty sweep: provide specs or a grid with mixes"))
+		return
+	}
+	for _, sp := range specs {
+		if err := s.eng.Validate(sp); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	// The sweep runs under the request context (client disconnect
+	// cancels it) bounded by the server lifetime.
+	ctx, cancel := mergeDone(r.Context(), s.base)
+	defer cancel()
+	start := time.Now()
+	res, err := s.eng.Sweep(ctx, specs, sweep.Options{Normalize: req.Normalize})
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	out := sweepResponse{Count: len(specs), Cache: s.eng.Stats(), Wall: time.Since(start).Seconds()}
+	for i := range specs {
+		sum := summarize(res.Results[i])
+		if req.Normalize {
+			sum.Normalized = res.Norms[i]
+		}
+		out.Results = append(out.Results, sweepResult{Spec: specs[i], Summary: sum})
+	}
+	tab := res.Table("sweep")
+	out.Table = tableJSON{Header: tab.Header, Rows: tab.Rows}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// mergeDone returns a context that is cancelled when either parent is.
+func mergeDone(a, b context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(a)
+	stop := context.AfterFunc(b, cancel)
+	return ctx, func() { stop(); cancel() }
+}

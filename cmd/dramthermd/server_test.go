@@ -1,0 +1,293 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dramtherm/internal/core"
+	"dramtherm/internal/sim"
+	"dramtherm/internal/sweep"
+)
+
+// newTestServer backs the API with a counting fake run function so API
+// tests exercise routing, job lifecycle and deduplication without paying
+// for real simulations.
+func newTestServer(t *testing.T, workers int, delay time.Duration) (*httptest.Server, *atomic.Int64, *sweep.Engine) {
+	t.Helper()
+	eng := sweep.NewEngine(core.NewSystem(core.DefaultConfig()), workers)
+	var builds atomic.Int64
+	eng.SetRunFunc(func(ctx context.Context, rs core.RunSpec) (sim.MEMSpotResult, error) {
+		builds.Add(1)
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return sim.MEMSpotResult{}, ctx.Err()
+		}
+		secs := 100.0
+		if rs.Policy.Name() != "No-limit" {
+			secs = 120
+		}
+		return sim.MEMSpotResult{Seconds: secs, Completed: 4, MaxAMB: 108}, nil
+	})
+	ts := httptest.NewServer(newServer(context.Background(), eng))
+	t.Cleanup(ts.Close)
+	return ts, &builds, eng
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decode[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestHealthz(t *testing.T) {
+	ts, _, _ := newTestServer(t, 2, 0)
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	h := decode[map[string]any](t, resp)
+	if h["status"] != "ok" {
+		t.Fatalf("healthz = %v", h)
+	}
+}
+
+func TestRunLifecycle(t *testing.T) {
+	ts, builds, _ := newTestServer(t, 2, 5*time.Millisecond)
+	resp := postJSON(t, ts.URL+"/v1/runs", sweep.Spec{Mix: "W1", Policy: "DTM-ACG"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	id := decode[map[string]string](t, resp)["id"]
+	if id == "" {
+		t.Fatal("no job id")
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	var job jobState
+	for {
+		r, err := http.Get(ts.URL + "/v1/runs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("poll status %d", r.StatusCode)
+		}
+		job = decode[jobState](t, r)
+		if job.Status != "running" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job did not finish")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if job.Status != "done" || job.Result == nil {
+		t.Fatalf("job = %+v", job)
+	}
+	if job.Result.Seconds != 120 || job.Result.MaxAMB != 108 {
+		t.Fatalf("result = %+v", job.Result)
+	}
+	if builds.Load() != 1 {
+		t.Fatalf("builds = %d", builds.Load())
+	}
+
+	// Unknown job id is a 404.
+	r, err := http.Get(ts.URL + "/v1/runs/run-999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job status %d", r.StatusCode)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	ts, builds, _ := newTestServer(t, 2, 0)
+	for _, body := range []any{
+		sweep.Spec{Mix: "W99"},
+		sweep.Spec{Mix: "W1", Policy: "DTM-NOPE"},
+		map[string]any{"mix": []int{1}},
+	} {
+		resp := postJSON(t, ts.URL+"/v1/runs", body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %v: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+	if builds.Load() != 0 {
+		t.Fatalf("invalid specs reached the backend %d times", builds.Load())
+	}
+}
+
+// TestSweepDedup is the acceptance scenario: a sweep over 8 (mix,
+// policy) combinations, submitted with every spec duplicated, runs
+// concurrently with exactly one simulation per unique spec.
+func TestSweepDedup(t *testing.T) {
+	ts, builds, eng := newTestServer(t, 8, 5*time.Millisecond)
+	grid := sweep.Grid{
+		Mixes:    []string{"W1", "W2", "W3", "W4"},
+		Policies: []string{"DTM-TS", "DTM-BW"},
+	} // 8 unique combinations
+	specs := grid.Expand()
+	req := sweepRequest{Grid: &grid, Specs: specs} // every spec twice
+	start := time.Now()
+	resp := postJSON(t, ts.URL+"/v1/sweeps", req)
+	wall := time.Since(start)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	out := decode[sweepResponse](t, resp)
+	if out.Count != 16 {
+		t.Fatalf("count = %d, want 16", out.Count)
+	}
+	if builds.Load() != 8 {
+		t.Fatalf("backend ran %d simulations, want 8 (duplicate in-flight specs must dedup)", builds.Load())
+	}
+	if st := eng.Stats(); st.Builds != 8 || st.Hits+st.Waits != 8 {
+		t.Fatalf("cache stats %+v", st)
+	}
+	// 8 × 5 ms of work on 8 workers must not serialize to 40 ms+.
+	if wall > 4*time.Second {
+		t.Fatalf("sweep wall %v suggests serial execution", wall)
+	}
+	// The table aggregates mixes × policies.
+	if len(out.Table.Rows) != 4 || len(out.Table.Header) != 3 {
+		t.Fatalf("table %dx%d: %+v", len(out.Table.Rows), len(out.Table.Header), out.Table)
+	}
+	for _, res := range out.Results {
+		if res.Summary.Seconds != 120 {
+			t.Fatalf("summary %+v", res.Summary)
+		}
+	}
+}
+
+func TestSweepNormalize(t *testing.T) {
+	ts, _, _ := newTestServer(t, 4, 0)
+	resp := postJSON(t, ts.URL+"/v1/sweeps", sweepRequest{
+		Grid:      &sweep.Grid{Mixes: []string{"W1"}, Policies: []string{"DTM-TS"}},
+		Normalize: true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	out := decode[sweepResponse](t, resp)
+	if n := out.Results[0].Summary.Normalized; n != 1.2 {
+		t.Fatalf("normalized = %v, want 1.2", n)
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	ts, builds, _ := newTestServer(t, 2, 0)
+	for _, req := range []sweepRequest{
+		{}, // empty
+		{Grid: &sweep.Grid{}},
+		{Specs: []sweep.Spec{{Mix: "W1"}, {Mix: "W77"}}},
+	} {
+		resp := postJSON(t, ts.URL+"/v1/sweeps", req)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("req %+v: status %d, want 400", req, resp.StatusCode)
+		}
+	}
+	if builds.Load() != 0 {
+		t.Fatalf("invalid sweeps reached the backend %d times", builds.Load())
+	}
+}
+
+// TestServerShutdownCancelsJobs checks async jobs abort when the server
+// base context is cancelled (graceful shutdown path).
+func TestServerShutdownCancelsJobs(t *testing.T) {
+	eng := sweep.NewEngine(core.NewSystem(core.DefaultConfig()), 2)
+	started := make(chan struct{}, 16)
+	eng.SetRunFunc(func(ctx context.Context, rs core.RunSpec) (sim.MEMSpotResult, error) {
+		started <- struct{}{}
+		<-ctx.Done()
+		return sim.MEMSpotResult{}, ctx.Err()
+	})
+	base, cancel := context.WithCancel(context.Background())
+	ts := httptest.NewServer(newServer(base, eng))
+	defer ts.Close()
+
+	resp := postJSON(t, ts.URL+"/v1/runs", sweep.Spec{Mix: "W1"})
+	id := decode[map[string]string](t, resp)["id"]
+	<-started // the job is genuinely in flight
+	cancel()  // server shutdown
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		r, err := http.Get(ts.URL + "/v1/runs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		job := decode[jobState](t, r)
+		if job.Status == "error" {
+			if job.Error == "" {
+				t.Fatal("cancelled job has no error")
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job not cancelled: %+v", job)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestSweepRealTiny drives one real reduced-scale simulation through the
+// full HTTP path, proving the service end-to-end.
+func TestSweepRealTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real simulation skipped in -short mode")
+	}
+	cfg := core.DefaultConfig()
+	cfg.Replicas = 1
+	cfg.InstrScale = 0.01
+	eng := sweep.NewEngine(core.NewSystem(cfg), 2)
+	ts := httptest.NewServer(newServer(context.Background(), eng))
+	defer ts.Close()
+
+	resp := postJSON(t, ts.URL+"/v1/sweeps", sweepRequest{
+		Specs: []sweep.Spec{{Mix: "W1"}, {Mix: "W1", Policy: "DTM-TS"}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	out := decode[sweepResponse](t, resp)
+	for i, r := range out.Results {
+		if r.Summary.Seconds <= 0 {
+			t.Fatalf("result %d: %+v", i, r.Summary)
+		}
+	}
+	if out.Results[1].Summary.Seconds < out.Results[0].Summary.Seconds {
+		t.Fatalf("DTM-TS (%v s) ran faster than No-limit (%v s)",
+			out.Results[1].Summary.Seconds, out.Results[0].Summary.Seconds)
+	}
+}

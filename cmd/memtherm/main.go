@@ -7,11 +7,16 @@
 //	memtherm -run all              # run everything (minutes)
 //	memtherm -run fig5.6 -quick    # reduced-scale run (seconds to ~1 min)
 //	memtherm -run fig4.4 -csv      # emit CSV instead of rendered tables
+//	memtherm -run all -parallel 8  # run experiments concurrently; shared
+//	                               # (mix, policy) runs are deduplicated by
+//	                               # the sweep engine, not repeated
+//	memtherm -run all -state s.gob # warm-start from (and save) gob state
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
 	"strings"
 	"time"
@@ -21,10 +26,12 @@ import (
 
 func main() {
 	var (
-		list  = flag.Bool("list", false, "list experiment IDs and exit")
-		run   = flag.String("run", "", "experiment ID(s), comma separated, or \"all\"")
-		quick = flag.Bool("quick", false, "reduced-scale mode (smaller batches, fewer mixes)")
-		csv   = flag.Bool("csv", false, "emit tables as CSV")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		run      = flag.String("run", "", "experiment ID(s), comma separated, or \"all\"")
+		quick    = flag.Bool("quick", false, "reduced-scale mode (smaller batches, fewer mixes)")
+		csv      = flag.Bool("csv", false, "emit tables as CSV")
+		parallel = flag.Int("parallel", 1, "experiments to run concurrently; also sizes the simulation worker pool (0 = GOMAXPROCS)")
+		state    = flag.String("state", "", "gob state file: loaded at startup if present, saved on exit")
 	)
 	flag.Parse()
 
@@ -39,33 +46,88 @@ func main() {
 		os.Exit(2)
 	}
 
-	runner := exp.NewRunner(*quick)
+	runner := exp.NewRunnerParallel(*quick, *parallel)
+	if *state != "" {
+		if _, err := runner.Eng.LoadStateFile(*state); err != nil {
+			log.Printf("state %s not loaded: %v", *state, err)
+		}
+	}
+
 	ids := strings.Split(*run, ",")
 	if *run == "all" {
 		ids = exp.IDs()
 	}
 	for _, id := range ids {
-		d, err := exp.Lookup(id)
-		if err != nil {
+		if _, err := exp.Lookup(id); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		start := time.Now()
-		res, err := d.Run(runner)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+	}
+
+	// Run up to -parallel experiments concurrently. Their shared level-2
+	// runs (e.g. fig4.3/4.4/4.9/4.10 reuse the same simulations)
+	// collapse in the sweep engine's singleflight cache, so concurrency
+	// never duplicates work. Output streams in request order as each
+	// experiment (and all before it) completes; the first failure in
+	// that order aborts the run, as in serial mode.
+	width := *parallel
+	if width < 1 {
+		width = len(ids)
+	}
+	type outcome struct {
+		text string
+		err  error
+	}
+	outs := make([]outcome, len(ids))
+	ready := make([]chan struct{}, len(ids))
+	for i := range ready {
+		ready[i] = make(chan struct{})
+	}
+	sem := make(chan struct{}, width)
+	for i, id := range ids {
+		go func(i int, id string) {
+			defer close(ready[i])
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			d, _ := exp.Lookup(id)
+			start := time.Now()
+			res, err := d.Run(runner)
+			if err != nil {
+				outs[i] = outcome{err: fmt.Errorf("%s: %w", id, err)}
+				return
+			}
+			var b strings.Builder
+			fmt.Fprintf(&b, "==== %s — %s (%.1fs)\n\n", d.ID, d.Title, time.Since(start).Seconds())
+			if *csv {
+				for _, t := range res.Tables {
+					b.WriteString(t.CSV())
+				}
+				for _, f := range res.Figures {
+					b.WriteString(f.DataTable().CSV())
+				}
+			} else {
+				b.WriteString(res.String())
+			}
+			outs[i] = outcome{text: b.String()}
+		}(i, id)
+	}
+
+	saveState := func() {
+		if *state == "" {
+			return
+		}
+		if err := runner.Eng.SaveStateFile(*state); err != nil {
+			log.Printf("state %s not saved: %v", *state, err)
+		}
+	}
+	for i := range ids {
+		<-ready[i]
+		if outs[i].err != nil {
+			fmt.Fprintln(os.Stderr, outs[i].err)
+			saveState()
 			os.Exit(1)
 		}
-		fmt.Printf("==== %s — %s (%.1fs)\n\n", d.ID, d.Title, time.Since(start).Seconds())
-		if *csv {
-			for _, t := range res.Tables {
-				fmt.Print(t.CSV())
-			}
-			for _, f := range res.Figures {
-				fmt.Print(f.DataTable().CSV())
-			}
-			continue
-		}
-		fmt.Print(res.String())
+		fmt.Print(outs[i].text)
 	}
+	saveState()
 }

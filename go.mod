@@ -1,0 +1,3 @@
+module dramtherm
+
+go 1.24

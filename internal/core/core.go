@@ -7,6 +7,9 @@
 package core
 
 import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 
 	"dramtherm/internal/dtm"
@@ -105,8 +108,26 @@ type RunSpec struct {
 	Limits fbconfig.ThermalLimits
 }
 
+// ConfigDigest returns a short stable hash of the system configuration.
+// Two systems with the same digest produce identical results for the
+// same RunSpec, so the digest scopes cross-run caches (internal/sweep)
+// and persisted state files.
+func (s *System) ConfigDigest() string {
+	// fmt renders maps in sorted key order, so the rendering — and with
+	// it the digest — is deterministic for a given Config value.
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%+v", s.cfg)))
+	return hex.EncodeToString(sum[:8])
+}
+
 // Run executes the spec and returns the MEMSpot result.
 func (s *System) Run(spec RunSpec) (sim.MEMSpotResult, error) {
+	return s.RunCtx(context.Background(), spec)
+}
+
+// RunCtx is Run with cancellation: the level-2 simulation aborts between
+// windows once ctx is done. The concurrent sweep engine uses it to tear
+// down in-flight work promptly.
+func (s *System) RunCtx(ctx context.Context, spec RunSpec) (sim.MEMSpotResult, error) {
 	if spec.Policy == nil {
 		return sim.MEMSpotResult{}, fmt.Errorf("core: RunSpec needs a policy")
 	}
@@ -143,7 +164,7 @@ func (s *System) Run(spec RunSpec) (sim.MEMSpotResult, error) {
 		DTMIntervalS: interval,
 		InstrScale:   s.cfg.InstrScale,
 	}
-	return sim.RunMix(cfg, s.store)
+	return sim.RunMixCtx(ctx, cfg, s.store)
 }
 
 // PolicyNames lists the Chapter 4 policy constructors available through
@@ -159,13 +180,20 @@ func PolicyNames() []string {
 // and Table 4.3 levels. Each call returns a fresh policy (policies are
 // stateful).
 func (s *System) NewPolicy(name string) (dtm.Policy, error) {
+	return s.NewPolicyFor(name, s.cfg.Limits)
+}
+
+// NewPolicyFor builds a policy by name against explicit thermal limits,
+// for TRP/TDP sweeps where the swept limit must reach the policy itself
+// (e.g. Fig. 4.2's DTM-TS TRP sweep).
+func (s *System) NewPolicyFor(name string, lim fbconfig.ThermalLimits) (dtm.Policy, error) {
 	cores := s.cfg.Params.Cores
-	levels := dtm.LevelsForTDP(s.cfg.Limits.AMBTDP, s.cfg.Limits.DRAMTDP)
+	levels := dtm.LevelsForTDP(lim.AMBTDP, lim.DRAMTDP)
 	switch name {
 	case "No-limit":
 		return &dtm.NoLimit{Cores: cores}, nil
 	case "DTM-TS":
-		return dtm.NewTS(s.cfg.Limits, cores), nil
+		return dtm.NewTS(lim, cores), nil
 	case "DTM-BW":
 		return dtm.NewBW(levels, cores), nil
 	case "DTM-ACG":
@@ -175,11 +203,11 @@ func (s *System) NewPolicy(name string) (dtm.Policy, error) {
 	case "DTM-COMB":
 		return dtm.NewCOMB(levels, cores), nil
 	case "DTM-BW+PID":
-		return dtm.NewPID("DTM-BW", dtm.ActionsBW(cores), s.cfg.Limits)
+		return dtm.NewPID("DTM-BW", dtm.ActionsBW(cores), lim)
 	case "DTM-ACG+PID":
-		return dtm.NewPID("DTM-ACG", dtm.ActionsACG(cores), s.cfg.Limits)
+		return dtm.NewPID("DTM-ACG", dtm.ActionsACG(cores), lim)
 	case "DTM-CDVFS+PID":
-		return dtm.NewPID("DTM-CDVFS", dtm.ActionsCDVFS(cores, len(s.cfg.DVFS)), s.cfg.Limits)
+		return dtm.NewPID("DTM-CDVFS", dtm.ActionsCDVFS(cores, len(s.cfg.DVFS)), lim)
 	default:
 		return nil, fmt.Errorf("core: unknown policy %q", name)
 	}

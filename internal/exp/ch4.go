@@ -3,7 +3,6 @@
 package exp
 
 import (
-	"dramtherm/internal/dtm"
 	"fmt"
 
 	"dramtherm/internal/core"
@@ -59,10 +58,10 @@ func fig42(r *Runner) (Result, error) {
 				} else {
 					lim.DRAMTRP = trp
 				}
-				// The TS policy carries its own limits, so it must be
-				// built with the swept TRP (not through NewPolicy, which
-				// uses the system defaults).
-				res2, err := r.runWithPolicy(mix, dtm.NewTS(lim, 4), sw.cooling,
+				// The TS policy carries its own limits; the engine
+				// builds it with the swept TRP because the spec's Limits
+				// override reaches policy construction.
+				res2, err := r.run(mix, "DTM-TS", sw.cooling, core.Isolated,
 					core.RunSpec{Limits: lim})
 				if err != nil {
 					return res, err

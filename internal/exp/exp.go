@@ -7,16 +7,16 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"sort"
-	"sync"
 
 	"dramtherm/internal/core"
-	"dramtherm/internal/dtm"
 	"dramtherm/internal/fbconfig"
 	"dramtherm/internal/platform"
 	"dramtherm/internal/report"
 	"dramtherm/internal/sim"
+	"dramtherm/internal/sweep"
 	"dramtherm/internal/trace"
 	"dramtherm/internal/workload"
 )
@@ -42,39 +42,48 @@ func (r Result) String() string {
 	return out
 }
 
-// Runner carries the shared state all drivers use: one Chapter 4 system
-// and one trace store per Chapter 5 machine, plus memoized level-2 runs
-// so related figures (e.g. 4.3/4.4/4.9/4.10) do not repeat work.
+// Runner carries the shared state all drivers use: one Chapter 4 sweep
+// engine and one trace store per Chapter 5 machine. All level-2 runs go
+// through the engine's deduplicating cache, so related figures (e.g.
+// 4.3/4.4/4.9/4.10) never repeat work — and drivers running concurrently
+// (memtherm -parallel) share in-flight simulations instead of racing.
 type Runner struct {
 	Sys *core.System
+	// Eng serves every Chapter 4 level-2 run.
+	Eng *sweep.Engine
 
 	// Quick trades fidelity for speed (small batches, fewer mixes);
 	// used by tests and benchmarks.
 	Quick bool
 
-	mu       sync.Mutex
-	runCache map[string]sim.MEMSpotResult
-	pe, sr   platform.Machine
-	peStore  *trace.Store
-	srStore  *trace.Store
-	pfCache  map[string]platform.RunResult
+	pe, sr  platform.Machine
+	peStore *trace.Store
+	srStore *trace.Store
+	pfCache *sweep.Cache[platform.RunResult]
 }
 
 // NewRunner builds a Runner. quick selects the reduced-scale mode.
 func NewRunner(quick bool) *Runner {
+	return NewRunnerParallel(quick, 0)
+}
+
+// NewRunnerParallel is NewRunner with an explicit simulation worker-pool
+// width (<= 0 selects GOMAXPROCS).
+func NewRunnerParallel(quick bool, workers int) *Runner {
 	cfg := core.DefaultConfig()
 	if quick {
 		cfg.Replicas = 2
 	} else {
 		cfg.Replicas = 4
 	}
+	sys := core.NewSystem(cfg)
 	r := &Runner{
-		Sys:      core.NewSystem(cfg),
-		Quick:    quick,
-		runCache: make(map[string]sim.MEMSpotResult),
-		pe:       platform.PE1950(),
-		sr:       platform.SR1500AL(),
-		pfCache:  make(map[string]platform.RunResult),
+		Sys:     sys,
+		Eng:     sweep.NewEngine(sys, workers),
+		Quick:   quick,
+		pe:      platform.PE1950(),
+		sr:      platform.SR1500AL(),
+		pfCache: sweep.NewCache[platform.RunResult](workers),
 	}
 	r.peStore = platform.NewStore(r.pe, 1)
 	r.srStore = platform.NewStore(r.sr, 1)
@@ -90,55 +99,18 @@ func (r *Runner) mixes() []workload.Mix {
 	return ms
 }
 
-// run executes (and memoizes) one Chapter 4 level-2 run.
+// run executes one Chapter 4 level-2 run through the sweep engine, which
+// memoizes it and deduplicates concurrent requests for the same spec.
 func (r *Runner) run(mix workload.Mix, policyName string, cooling fbconfig.Cooling, model core.ThermalModelKind, spec core.RunSpec) (sim.MEMSpotResult, error) {
-	key := fmt.Sprintf("%s|%s|%s|%v|%v|%v|%v", mix.Name, policyName, cooling.Name(), model,
-		spec.PsiXi, spec.Interval, spec.Limits)
-	r.mu.Lock()
-	if res, ok := r.runCache[key]; ok {
-		r.mu.Unlock()
-		return res, nil
-	}
-	r.mu.Unlock()
-	p, err := r.Sys.NewPolicy(policyName)
-	if err != nil {
-		return sim.MEMSpotResult{}, err
-	}
-	spec.Mix = mix
-	spec.Policy = p
-	spec.Cooling = cooling
-	spec.Model = model
-	res, err := r.Sys.Run(spec)
-	if err != nil {
-		return sim.MEMSpotResult{}, err
-	}
-	r.mu.Lock()
-	r.runCache[key] = res
-	r.mu.Unlock()
-	return res, nil
-}
-
-// runWithPolicy executes (and memoizes) a run with an explicitly built
-// policy, for sweeps whose parameter lives inside the policy itself.
-func (r *Runner) runWithPolicy(mix workload.Mix, p dtm.Policy, cooling fbconfig.Cooling, spec core.RunSpec) (sim.MEMSpotResult, error) {
-	key := fmt.Sprintf("custom|%s|%s|%s|%v", mix.Name, p.Name(), cooling.Name(), spec.Limits)
-	r.mu.Lock()
-	if res, ok := r.runCache[key]; ok {
-		r.mu.Unlock()
-		return res, nil
-	}
-	r.mu.Unlock()
-	spec.Mix = mix
-	spec.Policy = p
-	spec.Cooling = cooling
-	res, err := r.Sys.Run(spec)
-	if err != nil {
-		return sim.MEMSpotResult{}, err
-	}
-	r.mu.Lock()
-	r.runCache[key] = res
-	r.mu.Unlock()
-	return res, nil
+	return r.Eng.Run(context.Background(), sweep.Spec{
+		Mix:      mix.Name,
+		Policy:   policyName,
+		Cooling:  cooling.Name(),
+		Model:    model.String(),
+		PsiXi:    spec.PsiXi,
+		Interval: spec.Interval,
+		Limits:   spec.Limits,
+	})
 }
 
 // norm returns runtime normalized to the No-limit baseline.
@@ -154,7 +126,9 @@ func (r *Runner) norm(mix workload.Mix, policyName string, cooling fbconfig.Cool
 	return res.Seconds / base.Seconds, res, nil
 }
 
-// pfRun executes (and memoizes) one Chapter 5 platform run.
+// pfRun executes one Chapter 5 platform run through a sweep cache, so
+// concurrent drivers share in-flight emulations the same way Chapter 4
+// runs share simulations.
 func (r *Runner) pfRun(cfg platform.RunConfig) (platform.RunResult, error) {
 	if cfg.RunsPerApp == 0 {
 		if r.Quick {
@@ -166,26 +140,15 @@ func (r *Runner) pfRun(cfg platform.RunConfig) (platform.RunResult, error) {
 	if cfg.SensorSeed == 0 {
 		cfg.SensorSeed = 7
 	}
-	key := fmt.Sprintf("%s|%v|%s|%d|%v|%v|%v|%v|%d", cfg.Machine.Name, cfg.Policy, cfg.Mix.Name,
-		cfg.RunsPerApp, cfg.QuantumS, cfg.AmbientOverride, cfg.TDPOverride, cfg.ForceFreqIdx, cfg.SensorSeed)
-	r.mu.Lock()
-	if res, ok := r.pfCache[key]; ok {
-		r.mu.Unlock()
-		return res, nil
-	}
-	r.mu.Unlock()
-	store := r.peStore
-	if cfg.Machine.Name == r.sr.Name {
-		store = r.srStore
-	}
-	res, err := platform.RunPlatform(cfg, store)
-	if err != nil {
-		return res, err
-	}
-	r.mu.Lock()
-	r.pfCache[key] = res
-	r.mu.Unlock()
-	return res, nil
+	key := sweep.Key(fmt.Sprintf("%s|%v|%s|%d|%v|%v|%v|%v|%d", cfg.Machine.Name, cfg.Policy, cfg.Mix.Name,
+		cfg.RunsPerApp, cfg.QuantumS, cfg.AmbientOverride, cfg.TDPOverride, cfg.ForceFreqIdx, cfg.SensorSeed))
+	return r.pfCache.Do(context.Background(), key, func(context.Context) (platform.RunResult, error) {
+		store := r.peStore
+		if cfg.Machine.Name == r.sr.Name {
+			store = r.srStore
+		}
+		return platform.RunPlatform(cfg, store)
+	})
 }
 
 // Driver is one registered experiment.

@@ -105,6 +105,21 @@ var Coolings = []Cooling{
 // (bold columns of Table 3.2).
 var ExperimentCoolings = []Cooling{CoolingAOHS15, CoolingFDHS10}
 
+// CoolingByName returns the Table 3.2 column with the given shorthand
+// name (e.g. "AOHS_1.5"); the empty string selects AOHS_1.5, the paper's
+// primary configuration.
+func CoolingByName(name string) (Cooling, error) {
+	if name == "" {
+		return CoolingAOHS15, nil
+	}
+	for _, c := range Coolings {
+		if c.Name() == name {
+			return c, nil
+		}
+	}
+	return Cooling{}, fmt.Errorf("fbconfig: unknown cooling %q", name)
+}
+
 // Ambient holds the Table 3.3 parameters of the DRAM-ambient model
 // (Eq. 3.6): the system inlet temperature per cooling configuration and the
 // combined interaction coefficient Ψ_CPU_MEM × ξ.

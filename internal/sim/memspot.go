@@ -7,8 +7,8 @@
 package sim
 
 import (
+	"context"
 	"fmt"
-
 	"math/rand"
 
 	"dramtherm/internal/dtm"
@@ -232,7 +232,18 @@ func (m *MEMSpot) gatedSet() []bool {
 // Run executes the batch to completion (or MaxSeconds) and returns the
 // result.
 func (m *MEMSpot) Run() (MEMSpotResult, error) {
+	return m.RunCtx(context.Background())
+}
+
+// RunCtx is Run with cancellation: the simulation loop aborts between
+// windows as soon as ctx is done, returning the context error and the
+// partial result accumulated so far.
+func (m *MEMSpot) RunCtx(ctx context.Context) (MEMSpotResult, error) {
 	for !m.done() {
+		if err := ctx.Err(); err != nil {
+			m.res.Seconds = m.now
+			return m.res, err
+		}
 		if m.now >= m.cfg.MaxSeconds {
 			m.res.TimedOut = true
 			break
@@ -405,11 +416,16 @@ func (m *MEMSpot) cpuWatts(lv fbconfig.DVFSLevel, runningCores int) float64 {
 
 // RunMix is the high-level helper: build MEMSpot, run it, return results.
 func RunMix(cfg MEMSpotConfig, store *trace.Store) (MEMSpotResult, error) {
+	return RunMixCtx(context.Background(), cfg, store)
+}
+
+// RunMixCtx is RunMix with cancellation.
+func RunMixCtx(ctx context.Context, cfg MEMSpotConfig, store *trace.Store) (MEMSpotResult, error) {
 	ms, err := NewMEMSpot(cfg, store)
 	if err != nil {
 		return MEMSpotResult{}, err
 	}
-	return ms.Run()
+	return ms.RunCtx(ctx)
 }
 
 // NoLimitRuntime runs the mix with the No-limit pseudo-policy and an

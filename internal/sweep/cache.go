@@ -1,0 +1,223 @@
+package sweep
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/maphash"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// numShards keeps shard-lock contention negligible even when every
+// GOMAXPROCS worker touches the cache at once.
+const numShards = 16
+
+// Cache is a sharded, singleflight-deduplicating build cache: Do returns
+// the cached value for a key, joins an in-flight build of the same key,
+// or becomes the leader that builds it. Leaders run on a worker pool
+// bounded at construction, so any number of concurrent distinct keys
+// degrade gracefully to pool-width parallelism. The value type only
+// needs to be gob-encodable if Save/Load are used.
+type Cache[V any] struct {
+	shards [numShards]shard[V]
+	seed   maphash.Seed
+	sem    chan struct{}
+
+	builds atomic.Int64 // builder invocations (unique work)
+	hits   atomic.Int64 // completed-entry lookups
+	waits  atomic.Int64 // joins of an in-flight build (deduplicated work)
+}
+
+type shard[V any] struct {
+	mu      sync.Mutex
+	done    map[Key]V
+	flights map[Key]*flight[V]
+}
+
+// flight is one in-flight build; waiters block on done.
+type flight[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// NewCache returns a cache whose leaders run on a pool of the given
+// width; workers <= 0 selects GOMAXPROCS.
+func NewCache[V any](workers int) *Cache[V] {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	c := &Cache[V]{seed: maphash.MakeSeed(), sem: make(chan struct{}, workers)}
+	for i := range c.shards {
+		c.shards[i].done = make(map[Key]V)
+		c.shards[i].flights = make(map[Key]*flight[V])
+	}
+	return c
+}
+
+// Workers returns the pool width.
+func (c *Cache[V]) Workers() int { return cap(c.sem) }
+
+func (c *Cache[V]) shardOf(key Key) *shard[V] {
+	return &c.shards[maphash.String(c.seed, string(key))%numShards]
+}
+
+// Do returns the value for key, building it at most once across all
+// concurrent callers. The first caller for an absent key becomes the
+// leader: it takes a pool slot, runs build, publishes the result and
+// wakes the followers. Followers (and leaders waiting for a pool slot)
+// abort when their own ctx is done. A failed build is not cached: the
+// error reaches the leader and any follower whose own ctx is also done,
+// while followers that are still live elect a new leader and rebuild —
+// one client's disconnect never fails another client's identical
+// request. A later Do after a failure retries from scratch.
+func (c *Cache[V]) Do(ctx context.Context, key Key, build func(context.Context) (V, error)) (V, error) {
+	var zero V
+	sh := c.shardOf(key)
+	for {
+		sh.mu.Lock()
+		if v, ok := sh.done[key]; ok {
+			sh.mu.Unlock()
+			c.hits.Add(1)
+			return v, nil
+		}
+		if fl, ok := sh.flights[key]; ok {
+			sh.mu.Unlock()
+			c.waits.Add(1)
+			select {
+			case <-fl.done:
+			case <-ctx.Done():
+				return zero, ctx.Err()
+			}
+			if fl.err == nil {
+				return fl.val, nil
+			}
+			// The leader failed. If we are still live, loop and take
+			// (or share) leadership of a fresh build; the flight has
+			// been cleared. Otherwise report our own cancellation.
+			if err := ctx.Err(); err != nil {
+				return zero, err
+			}
+			if errors.Is(fl.err, context.Canceled) || errors.Is(fl.err, context.DeadlineExceeded) {
+				continue
+			}
+			return zero, fl.err
+		}
+		fl := &flight[V]{done: make(chan struct{})}
+		sh.flights[key] = fl
+		sh.mu.Unlock()
+
+		// Leader path: bounded by the worker pool.
+		select {
+		case c.sem <- struct{}{}:
+		case <-ctx.Done():
+			c.abort(sh, key, fl, ctx.Err())
+			return zero, ctx.Err()
+		}
+		c.builds.Add(1)
+		v, err := build(ctx)
+		<-c.sem
+
+		if err != nil {
+			c.abort(sh, key, fl, err)
+			return zero, err
+		}
+		fl.val = v
+		sh.mu.Lock()
+		sh.done[key] = v
+		delete(sh.flights, key)
+		sh.mu.Unlock()
+		close(fl.done)
+		return v, nil
+	}
+}
+
+// abort publishes a failure to followers and clears the flight so a
+// later Do can retry.
+func (c *Cache[V]) abort(sh *shard[V], key Key, fl *flight[V], err error) {
+	fl.err = err
+	sh.mu.Lock()
+	delete(sh.flights, key)
+	sh.mu.Unlock()
+	close(fl.done)
+}
+
+// Get returns the completed value for key without building.
+func (c *Cache[V]) Get(key Key) (V, bool) {
+	sh := c.shardOf(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	v, ok := sh.done[key]
+	return v, ok
+}
+
+// Put inserts a completed value directly (used by Load and tests).
+func (c *Cache[V]) Put(key Key, v V) {
+	sh := c.shardOf(key)
+	sh.mu.Lock()
+	sh.done[key] = v
+	sh.mu.Unlock()
+}
+
+// Len returns the number of completed entries.
+func (c *Cache[V]) Len() int {
+	n := 0
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		n += len(c.shards[i].done)
+		c.shards[i].mu.Unlock()
+	}
+	return n
+}
+
+// Stats summarizes cache traffic.
+type Stats struct {
+	// Builds counts builder invocations — the unique simulations run.
+	Builds int64 `json:"builds"`
+	// Hits counts lookups served from a completed entry.
+	Hits int64 `json:"hits"`
+	// Waits counts lookups that joined an in-flight build — requests a
+	// singleflight saved from duplicate simulation.
+	Waits int64 `json:"waits"`
+	// Entries is the completed-entry count.
+	Entries int `json:"entries"`
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache[V]) Stats() Stats {
+	return Stats{
+		Builds:  c.builds.Load(),
+		Hits:    c.hits.Load(),
+		Waits:   c.waits.Load(),
+		Entries: c.Len(),
+	}
+}
+
+// Save writes all completed entries to w with gob.
+func (c *Cache[V]) Save(w io.Writer) error {
+	out := make(map[Key]V)
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		for k, v := range c.shards[i].done {
+			out[k] = v
+		}
+		c.shards[i].mu.Unlock()
+	}
+	return gob.NewEncoder(w).Encode(out)
+}
+
+// Load reads entries written by Save and inserts them.
+func (c *Cache[V]) Load(r io.Reader) error {
+	var in map[Key]V
+	if err := gob.NewDecoder(r).Decode(&in); err != nil {
+		return fmt.Errorf("sweep: cache load: %w", err)
+	}
+	for k, v := range in {
+		c.Put(k, v)
+	}
+	return nil
+}

@@ -1,0 +1,240 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"dramtherm/internal/core"
+	"dramtherm/internal/fbconfig"
+	"dramtherm/internal/sim"
+	"dramtherm/internal/workload"
+)
+
+// RunFunc executes one resolved level-2 run. The default backend is
+// core.System.RunCtx; tests and alternate backends (e.g. a remote
+// executor) may substitute their own via SetRunFunc.
+type RunFunc func(ctx context.Context, spec core.RunSpec) (sim.MEMSpotResult, error)
+
+// Engine serves level-2 runs from a deduplicating cache over one
+// core.System. It is safe for concurrent use by any number of callers;
+// actual simulation work is bounded by the cache's worker pool.
+type Engine struct {
+	sys      *core.System
+	digest   string
+	cache    *Cache[sim.MEMSpotResult]
+	run      RunFunc
+	policies map[string]bool
+}
+
+// NewEngine builds an engine over sys with the given worker-pool width
+// (<= 0 selects GOMAXPROCS).
+func NewEngine(sys *core.System, workers int) *Engine {
+	e := &Engine{
+		sys:      sys,
+		digest:   sys.ConfigDigest(),
+		cache:    NewCache[sim.MEMSpotResult](workers),
+		policies: make(map[string]bool),
+	}
+	for _, n := range core.PolicyNames() {
+		e.policies[n] = true
+	}
+	e.run = sys.RunCtx
+	return e
+}
+
+// System returns the underlying simulation system.
+func (e *Engine) System() *core.System { return e.sys }
+
+// Workers returns the simulation worker-pool width.
+func (e *Engine) Workers() int { return e.cache.Workers() }
+
+// Stats returns run-cache traffic counters.
+func (e *Engine) Stats() Stats { return e.cache.Stats() }
+
+// SetRunFunc replaces the run backend. It must be called before the
+// engine is shared across goroutines.
+func (e *Engine) SetRunFunc(fn RunFunc) { e.run = fn }
+
+// Validate checks the spec without constructing any run state: name
+// lookups plus the limits-override shape. A Limits override must be
+// complete — the simulator treats AMBTDP==0 as "no override", so a
+// partial override would be silently ignored while still producing a
+// distinct cache key.
+func (e *Engine) Validate(spec Spec) error {
+	spec = spec.normalize()
+	if _, err := workload.MixByName(spec.Mix); err != nil {
+		return err
+	}
+	if !e.policies[spec.Policy] {
+		return fmt.Errorf("core: unknown policy %q", spec.Policy)
+	}
+	if _, err := fbconfig.CoolingByName(spec.Cooling); err != nil {
+		return err
+	}
+	if _, err := spec.modelKind(); err != nil {
+		return err
+	}
+	if lim := spec.Limits; lim != (fbconfig.ThermalLimits{}) &&
+		(lim.AMBTDP == 0 || lim.DRAMTDP == 0 || lim.AMBTRP == 0 || lim.DRAMTRP == 0) {
+		return fmt.Errorf("sweep: partial limits override %+v: all four of AMBTDP, DRAMTDP, AMBTRP, DRAMTRP must be set", lim)
+	}
+	return nil
+}
+
+// Resolve validates the spec and binds it to live objects: the workload
+// mix, a fresh policy (policies are stateful, so every call constructs a
+// new one), and the cooling column.
+func (e *Engine) Resolve(spec Spec) (core.RunSpec, error) {
+	if err := e.Validate(spec); err != nil {
+		return core.RunSpec{}, err
+	}
+	spec = spec.normalize()
+	mix, err := workload.MixByName(spec.Mix)
+	if err != nil {
+		return core.RunSpec{}, err
+	}
+	cool, err := fbconfig.CoolingByName(spec.Cooling)
+	if err != nil {
+		return core.RunSpec{}, err
+	}
+	model, err := spec.modelKind()
+	if err != nil {
+		return core.RunSpec{}, err
+	}
+	lim := e.sys.Config().Limits
+	if spec.Limits.AMBTDP != 0 {
+		lim = spec.Limits
+	}
+	p, err := e.sys.NewPolicyFor(spec.Policy, lim)
+	if err != nil {
+		return core.RunSpec{}, err
+	}
+	return core.RunSpec{
+		Mix:      mix,
+		Policy:   p,
+		Cooling:  cool,
+		Model:    model,
+		PsiXi:    spec.PsiXi,
+		Interval: spec.Interval,
+		Limits:   spec.Limits,
+	}, nil
+}
+
+// Run executes the spec, deduplicating against identical in-flight and
+// completed runs. The returned result is shared with other callers and
+// must be treated as read-only.
+func (e *Engine) Run(ctx context.Context, spec Spec) (sim.MEMSpotResult, error) {
+	// Validate eagerly (without building run state) so bad specs fail
+	// fast even on the cache hit path, and so resolution inside the
+	// builder cannot fail.
+	if err := e.Validate(spec); err != nil {
+		return sim.MEMSpotResult{}, err
+	}
+	return e.cache.Do(ctx, spec.Key(e.digest), func(ctx context.Context) (sim.MEMSpotResult, error) {
+		rs, err := e.Resolve(spec) // fresh policy for this execution
+		if err != nil {
+			return sim.MEMSpotResult{}, err
+		}
+		return e.run(ctx, rs)
+	})
+}
+
+// Normalized executes the spec and its No-limit baseline (same mix,
+// cooling, model and psi-xi, default interval and limits) and returns
+// runtime(spec)/runtime(baseline) — the unit of the paper's figures.
+func (e *Engine) Normalized(ctx context.Context, spec Spec) (float64, error) {
+	res, err := e.Run(ctx, spec)
+	if err != nil {
+		return 0, err
+	}
+	base, err := e.Run(ctx, e.BaselineSpec(spec))
+	if err != nil {
+		return 0, err
+	}
+	if base.Seconds == 0 {
+		return 0, fmt.Errorf("sweep: zero-length baseline for %s", spec)
+	}
+	return res.Seconds / base.Seconds, nil
+}
+
+// BaselineSpec returns the No-limit normalization partner of spec.
+func (e *Engine) BaselineSpec(spec Spec) Spec {
+	return Spec{
+		Mix:     spec.Mix,
+		Policy:  "No-limit",
+		Cooling: spec.Cooling,
+		Model:   spec.Model,
+		PsiXi:   spec.PsiXi,
+	}
+}
+
+// SaveState persists the run cache and the level-1 trace store, so a
+// later LoadState warms both layers. Each part is framed as a byte blob
+// under one outer gob stream: sequential bare gob streams would break on
+// readers without io.ByteReader, where the first decoder's buffering
+// swallows part of the second stream.
+func (e *Engine) SaveState(w io.Writer) error {
+	var cacheBuf, traceBuf bytes.Buffer
+	if err := e.cache.Save(&cacheBuf); err != nil {
+		return err
+	}
+	if err := e.sys.Store().Save(&traceBuf); err != nil {
+		return err
+	}
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(cacheBuf.Bytes()); err != nil {
+		return err
+	}
+	return enc.Encode(traceBuf.Bytes())
+}
+
+// SaveStateFile writes SaveState to path.
+func (e *Engine) SaveStateFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = e.SaveState(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// LoadStateFile restores state from path. A missing file is a cold
+// start, not an error: it returns (false, nil).
+func (e *Engine) LoadStateFile(path string) (loaded bool, err error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	err = e.LoadState(f)
+	f.Close()
+	return err == nil, err
+}
+
+// LoadState restores state written by SaveState. Entries keyed under a
+// different config digest stay in the cache but are never matched, so
+// loading a stale file is harmless.
+func (e *Engine) LoadState(r io.Reader) error {
+	dec := gob.NewDecoder(r)
+	var cacheBlob, traceBlob []byte
+	if err := dec.Decode(&cacheBlob); err != nil {
+		return fmt.Errorf("sweep: state load: %w", err)
+	}
+	if err := dec.Decode(&traceBlob); err != nil {
+		return fmt.Errorf("sweep: state load: %w", err)
+	}
+	if err := e.cache.Load(bytes.NewReader(cacheBlob)); err != nil {
+		return err
+	}
+	return e.sys.Store().Load(bytes.NewReader(traceBlob))
+}

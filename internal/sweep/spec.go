@@ -1,0 +1,166 @@
+// Package sweep is the concurrent simulation-serving subsystem: it turns
+// the blocking, in-process core.System.Run call into a service that many
+// clients (experiment drivers, CLIs, the dramthermd HTTP server) share.
+// A Spec names one level-2 run by value — mix, policy, cooling, thermal
+// model and overrides — so it can be canonicalized into a cache Key,
+// transported as JSON, and deduplicated: concurrent requests for the same
+// Key share one simulation, distinct Keys run in parallel on a bounded
+// worker pool. A Grid expands cartesian products of spec fields into job
+// lists, and the Engine executes them with cancellation, per-job progress
+// and report-table aggregation. Both the run cache and the shared level-1
+// trace store persist with gob, so repeated sweeps are near-instant.
+package sweep
+
+import (
+	"fmt"
+
+	"dramtherm/internal/core"
+	"dramtherm/internal/fbconfig"
+	"dramtherm/internal/workload"
+)
+
+// Spec names one level-2 run entirely by value, unlike core.RunSpec
+// whose Policy field is a live (stateful) object. The zero value of
+// every field selects the paper default.
+type Spec struct {
+	// Mix is the workload mix name (W1..W8, W11, W12).
+	Mix string `json:"mix"`
+	// Policy is the DTM policy name (core.PolicyNames); empty means
+	// "No-limit".
+	Policy string `json:"policy,omitempty"`
+	// Cooling is the Table 3.2 column shorthand (e.g. "AOHS_1.5");
+	// empty selects AOHS_1.5.
+	Cooling string `json:"cooling,omitempty"`
+	// Model is "isolated" (default) or "integrated".
+	Model string `json:"model,omitempty"`
+	// PsiXi overrides the integrated model's interaction coefficient
+	// when nonzero.
+	PsiXi float64 `json:"psi_xi,omitempty"`
+	// Interval overrides the DTM interval in seconds when nonzero.
+	Interval float64 `json:"interval,omitempty"`
+	// Limits overrides the thermal limits when AMBTDP is nonzero; the
+	// override reaches both the simulation and the policy construction
+	// (TRP/TDP sweeps).
+	Limits fbconfig.ThermalLimits `json:"limits,omitempty"`
+}
+
+// normalize fills defaulted fields so that equivalent specs share a key.
+func (s Spec) normalize() Spec {
+	if s.Policy == "" {
+		s.Policy = "No-limit"
+	}
+	if s.Cooling == "" {
+		s.Cooling = fbconfig.CoolingAOHS15.Name()
+	}
+	if s.Model == "" {
+		s.Model = core.Isolated.String()
+	}
+	return s
+}
+
+// Key is the canonical cache identity of a run: a normalized spec plus
+// the digest of the system configuration it executes under.
+type Key string
+
+// Key canonicalizes the spec under the given system-config digest.
+func (s Spec) Key(configDigest string) Key {
+	n := s.normalize()
+	return Key(fmt.Sprintf("%s|%s|%s|%s|%s|psixi=%g|iv=%g|lim=%g,%g,%g,%g",
+		configDigest, n.Mix, n.Policy, n.Cooling, n.Model,
+		n.PsiXi, n.Interval,
+		n.Limits.AMBTDP, n.Limits.DRAMTDP, n.Limits.AMBTRP, n.Limits.DRAMTRP))
+}
+
+// String renders the spec compactly for progress lines and logs.
+func (s Spec) String() string {
+	n := s.normalize()
+	out := fmt.Sprintf("%s/%s/%s/%s", n.Mix, n.Policy, n.Cooling, n.Model)
+	if n.PsiXi != 0 {
+		out += fmt.Sprintf("/psixi=%g", n.PsiXi)
+	}
+	if n.Interval != 0 {
+		out += fmt.Sprintf("/iv=%g", n.Interval)
+	}
+	if n.Limits.AMBTDP != 0 {
+		out += fmt.Sprintf("/lim=%g,%g", n.Limits.AMBTDP, n.Limits.DRAMTDP)
+	}
+	return out
+}
+
+// modelKind parses the Model field.
+func (s Spec) modelKind() (core.ThermalModelKind, error) {
+	switch s.Model {
+	case "", core.Isolated.String():
+		return core.Isolated, nil
+	case core.Integrated.String():
+		return core.Integrated, nil
+	default:
+		return core.Isolated, fmt.Errorf("sweep: unknown thermal model %q (want %q or %q)",
+			s.Model, core.Isolated, core.Integrated)
+	}
+}
+
+// Grid is a cartesian product of spec fields. Empty slices default to a
+// single zero entry (the paper default for that dimension), so the zero
+// Grid expands to nothing only because Mixes is empty — every populated
+// grid needs at least one mix.
+type Grid struct {
+	Mixes     []string                 `json:"mixes"`
+	Policies  []string                 `json:"policies,omitempty"`
+	Coolings  []string                 `json:"coolings,omitempty"`
+	Models    []string                 `json:"models,omitempty"`
+	PsiXis    []float64                `json:"psi_xis,omitempty"`
+	Intervals []float64                `json:"intervals,omitempty"`
+	Limits    []fbconfig.ThermalLimits `json:"limits,omitempty"`
+}
+
+// AllMixes fills the grid's Mixes with every paper mix.
+func AllMixes() []string {
+	out := make([]string, len(workload.Mixes))
+	for i, m := range workload.Mixes {
+		out[i] = m.Name
+	}
+	return out
+}
+
+// Expand enumerates the cartesian product in deterministic order: mixes
+// vary slowest, then policies, coolings, models, psi-xi, intervals,
+// limits.
+func (g Grid) Expand() []Spec {
+	or := func(ss []string) []string {
+		if len(ss) == 0 {
+			return []string{""}
+		}
+		return ss
+	}
+	orF := func(fs []float64) []float64 {
+		if len(fs) == 0 {
+			return []float64{0}
+		}
+		return fs
+	}
+	lims := g.Limits
+	if len(lims) == 0 {
+		lims = []fbconfig.ThermalLimits{{}}
+	}
+	var out []Spec
+	for _, mix := range g.Mixes {
+		for _, pol := range or(g.Policies) {
+			for _, cool := range or(g.Coolings) {
+				for _, mdl := range or(g.Models) {
+					for _, px := range orF(g.PsiXis) {
+						for _, iv := range orF(g.Intervals) {
+							for _, lim := range lims {
+								out = append(out, Spec{
+									Mix: mix, Policy: pol, Cooling: cool, Model: mdl,
+									PsiXi: px, Interval: iv, Limits: lim,
+								})
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}

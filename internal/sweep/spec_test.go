@@ -1,0 +1,113 @@
+package sweep
+
+import (
+	"encoding/json"
+	"testing"
+
+	"dramtherm/internal/fbconfig"
+)
+
+func TestSpecKeyCanonicalization(t *testing.T) {
+	// Defaulted and explicit forms of the same run share a key.
+	a := Spec{Mix: "W1"}.Key("d1")
+	b := Spec{Mix: "W1", Policy: "No-limit", Cooling: "AOHS_1.5", Model: "isolated"}.Key("d1")
+	if a != b {
+		t.Fatalf("equivalent specs differ:\n%s\n%s", a, b)
+	}
+	// Any distinguishing field separates keys.
+	distinct := []Spec{
+		{Mix: "W2"},
+		{Mix: "W1", Policy: "DTM-TS"},
+		{Mix: "W1", Cooling: "FDHS_1.0"},
+		{Mix: "W1", Model: "integrated"},
+		{Mix: "W1", PsiXi: 2},
+		{Mix: "W1", Interval: 0.02},
+		{Mix: "W1", Limits: fbconfig.ThermalLimits{AMBTDP: 100, DRAMTDP: 80, AMBTRP: 99, DRAMTRP: 79}},
+	}
+	seen := map[Key]bool{a: true}
+	for _, s := range distinct {
+		k := s.Key("d1")
+		if seen[k] {
+			t.Errorf("spec %v collides", s)
+		}
+		seen[k] = true
+	}
+	// The config digest scopes keys.
+	if (Spec{Mix: "W1"}).Key("d2") == a {
+		t.Fatal("digest not part of key")
+	}
+}
+
+func TestSpecString(t *testing.T) {
+	s := Spec{Mix: "W1", Policy: "DTM-TS", PsiXi: 1.5, Interval: 0.02,
+		Limits: fbconfig.ThermalLimits{AMBTDP: 100, DRAMTDP: 80}}
+	got := s.String()
+	for _, want := range []string{"W1", "DTM-TS", "psixi=1.5", "iv=0.02", "lim=100,80"} {
+		if !contains(got, want) {
+			t.Errorf("String() = %q missing %q", got, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestGridExpand(t *testing.T) {
+	g := Grid{
+		Mixes:    []string{"W1", "W2"},
+		Policies: []string{"No-limit", "DTM-TS", "DTM-BW"},
+		Coolings: []string{"AOHS_1.5", "FDHS_1.0"},
+	}
+	specs := g.Expand()
+	if len(specs) != 2*3*2 {
+		t.Fatalf("expanded %d specs, want 12", len(specs))
+	}
+	// Deterministic order: mixes slowest.
+	if specs[0].Mix != "W1" || specs[len(specs)-1].Mix != "W2" {
+		t.Fatalf("order wrong: %v ... %v", specs[0], specs[len(specs)-1])
+	}
+	// Empty dimensions default to one zero entry.
+	if n := len(Grid{Mixes: []string{"W1"}}.Expand()); n != 1 {
+		t.Fatalf("minimal grid expanded to %d", n)
+	}
+	if len(Grid{}.Expand()) != 0 {
+		t.Fatal("empty grid expanded to something")
+	}
+	// Every spec key is unique.
+	seen := map[Key]bool{}
+	for _, s := range specs {
+		k := s.Key("d")
+		if seen[k] {
+			t.Fatalf("duplicate key %s", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestAllMixes(t *testing.T) {
+	ms := AllMixes()
+	if len(ms) != 10 || ms[0] != "W1" {
+		t.Fatalf("AllMixes = %v", ms)
+	}
+}
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	in := Spec{Mix: "W3", Policy: "DTM-ACG", Cooling: "FDHS_1.0", Model: "integrated", PsiXi: 2}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Spec
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+}

@@ -1,0 +1,138 @@
+package sweep
+
+import (
+	"context"
+	"sync"
+
+	"dramtherm/internal/report"
+	"dramtherm/internal/sim"
+)
+
+// Progress reports one finished job of a sweep.
+type Progress struct {
+	Done  int // jobs finished so far, including this one
+	Total int
+	Index int // index of this job in the spec list
+	Spec  Spec
+	Err   error
+}
+
+// Options tunes Sweep execution.
+type Options struct {
+	// Normalize additionally runs each spec's No-limit baseline and
+	// fills Result.Norms with normalized runtimes.
+	Normalize bool
+	// OnProgress, when non-nil, is called after each job completes. It
+	// is invoked from worker goroutines and must be safe for concurrent
+	// use.
+	OnProgress func(Progress)
+}
+
+// Result holds the outcome of one sweep, positionally aligned with the
+// submitted specs.
+type Result struct {
+	Specs   []Spec
+	Results []sim.MEMSpotResult
+	// Norms is runtime normalized to the No-limit baseline; only filled
+	// when Options.Normalize is set.
+	Norms []float64
+}
+
+// Sweep executes all specs concurrently through the run cache (duplicate
+// specs collapse to one simulation; parallelism is bounded by the worker
+// pool) and returns positionally aligned results. The first error
+// cancels the remaining jobs and is returned; ctx cancellation does the
+// same with ctx.Err().
+func (e *Engine) Sweep(ctx context.Context, specs []Spec, opts Options) (*Result, error) {
+	res := &Result{
+		Specs:   specs,
+		Results: make([]sim.MEMSpotResult, len(specs)),
+		Norms:   make([]float64, len(specs)),
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		done     int
+		firstErr error
+	)
+	for i := range specs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var err error
+			if opts.Normalize {
+				res.Norms[i], err = e.Normalized(ctx, specs[i])
+				if err == nil {
+					res.Results[i], err = e.Run(ctx, specs[i])
+				}
+			} else {
+				res.Results[i], err = e.Run(ctx, specs[i])
+			}
+			mu.Lock()
+			done++
+			n := done
+			if err != nil && firstErr == nil {
+				firstErr = err
+				cancel()
+			}
+			mu.Unlock()
+			if opts.OnProgress != nil {
+				opts.OnProgress(Progress{Done: n, Total: len(specs), Index: i, Spec: specs[i], Err: err})
+			}
+		}(i)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return res, nil
+}
+
+// Table aggregates the sweep into a report table with one row per mix
+// and one column per policy, in first-appearance order. The cell value
+// is the normalized runtime when norms were computed, otherwise raw
+// seconds. Cells never produced by the sweep render empty.
+func (r *Result) Table(caption string) *report.Table {
+	value := func(i int) float64 {
+		if len(r.Norms) == len(r.Specs) && r.Norms[i] != 0 {
+			return r.Norms[i]
+		}
+		return r.Results[i].Seconds
+	}
+	var mixes, policies []string
+	seenMix := map[string]int{}
+	seenPol := map[string]int{}
+	cells := map[[2]int]float64{}
+	for i, s := range r.Specs {
+		n := s.normalize()
+		mi, ok := seenMix[n.Mix]
+		if !ok {
+			mi = len(mixes)
+			seenMix[n.Mix] = mi
+			mixes = append(mixes, n.Mix)
+		}
+		pi, ok := seenPol[n.Policy]
+		if !ok {
+			pi = len(policies)
+			seenPol[n.Policy] = pi
+			policies = append(policies, n.Policy)
+		}
+		cells[[2]int{mi, pi}] = value(i)
+	}
+	t := report.NewTable(caption, append([]string{"mix"}, policies...)...)
+	for mi, mix := range mixes {
+		row := []string{mix}
+		for pi := range policies {
+			if v, ok := cells[[2]int{mi, pi}]; ok {
+				row = append(row, report.FormatFloat(v))
+			} else {
+				row = append(row, "")
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

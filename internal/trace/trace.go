@@ -120,19 +120,33 @@ type BuilderFunc func(dp DesignPoint) (Rates, error)
 // Build implements Builder.
 func (f BuilderFunc) Build(dp DesignPoint) (Rates, error) { return f(dp) }
 
-// Store memoizes Rates by design point. It is safe for concurrent use.
+// Store memoizes Rates by design point. It is safe for concurrent use:
+// simultaneous Gets for the same unbuilt point share a single build
+// (singleflight), while distinct points build in parallel.
 type Store struct {
-	mu      sync.Mutex
-	builder Builder
-	recs    map[DesignPoint]Rates
-	builds  int
-	hits    int
+	mu       sync.Mutex
+	builder  Builder
+	recs     map[DesignPoint]Rates
+	inflight map[DesignPoint]*build
+	builds   int
+	hits     int
+}
+
+// build tracks one in-flight level-1 simulation.
+type build struct {
+	done chan struct{}
+	r    Rates
+	err  error
 }
 
 // NewStore returns a store backed by b (may be nil for a read-only store
 // filled via Load or Put).
 func NewStore(b Builder) *Store {
-	return &Store{builder: b, recs: make(map[DesignPoint]Rates)}
+	return &Store{
+		builder:  b,
+		recs:     make(map[DesignPoint]Rates),
+		inflight: make(map[DesignPoint]*build),
+	}
 }
 
 // Get returns the record for dp, building and memoizing it on first use.
@@ -147,19 +161,36 @@ func (s *Store) Get(dp DesignPoint) (Rates, error) {
 		s.mu.Unlock()
 		return r, nil
 	}
+	if fl, ok := s.inflight[dp]; ok {
+		s.mu.Unlock()
+		<-fl.done
+		return fl.r, fl.err
+	}
 	b := s.builder
-	s.mu.Unlock()
 	if b == nil {
+		s.mu.Unlock()
 		return Rates{}, fmt.Errorf("trace: no record for %v and no builder", dp)
 	}
+	fl := &build{done: make(chan struct{})}
+	s.inflight[dp] = fl
+	s.mu.Unlock()
+
 	r, err := b.Build(dp)
 	if err != nil {
-		return Rates{}, fmt.Errorf("trace: building %v: %w", dp, err)
+		err = fmt.Errorf("trace: building %v: %w", dp, err)
 	}
+	fl.r, fl.err = r, err
 	s.mu.Lock()
-	s.recs[dp] = r
-	s.builds++
+	delete(s.inflight, dp)
+	if err == nil {
+		s.recs[dp] = r
+		s.builds++
+	}
 	s.mu.Unlock()
+	close(fl.done)
+	if err != nil {
+		return Rates{}, err
+	}
 	return r, nil
 }
 

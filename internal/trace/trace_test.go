@@ -184,6 +184,46 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 }
 
+// slowBuilder widens the race window so concurrent Gets for the same
+// unbuilt point genuinely overlap.
+type slowBuilder struct {
+	countingBuilder
+	gate chan struct{}
+}
+
+func (b *slowBuilder) Build(dp DesignPoint) (Rates, error) {
+	<-b.gate
+	return b.countingBuilder.Build(dp)
+}
+
+// TestStoreSingleflight checks simultaneous Gets for one unbuilt design
+// point share a single level-1 build.
+func TestStoreSingleflight(t *testing.T) {
+	b := &slowBuilder{gate: make(chan struct{})}
+	s := NewStore(b)
+	dp := DesignPoint{Apps: "swim", FreqGHz: 3.2, BWCapGBps: math.Inf(1)}
+	const waiters = 16
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, err := s.Get(dp)
+			if err != nil {
+				t.Error(err)
+			}
+			if r.TotalReadGBps != 1 {
+				t.Errorf("bad record: %+v", r)
+			}
+		}()
+	}
+	close(b.gate) // release all; only one goroutine is inside Build
+	wg.Wait()
+	if b.n != 1 {
+		t.Fatalf("builder called %d times, want 1", b.n)
+	}
+}
+
 func TestStoreConcurrent(t *testing.T) {
 	b := &countingBuilder{}
 	s := NewStore(b)
