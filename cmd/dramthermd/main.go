@@ -1,21 +1,27 @@
 // Command dramthermd serves the DRAM thermal simulator over HTTP/JSON:
-// simulation-as-a-service on top of internal/sweep. Concurrent requests
-// for the same run spec share one simulation; distinct specs run in
-// parallel on a bounded worker pool.
+// simulation-as-a-service on top of internal/sweep, with the wire layer
+// in internal/httpapi. Concurrent requests for the same run spec share
+// one simulation; distinct specs run in parallel on a bounded worker
+// pool. Asynchronous jobs are listable, cancellable, streamable over
+// SSE, and evicted after a TTL.
 //
 // Usage:
 //
 //	dramthermd -addr :8080
 //	dramthermd -addr :8080 -workers 8 -state /var/lib/dramtherm/state.gob
+//	dramthermd -job-ttl 1h -max-jobs 4096
 //
 // Endpoints:
 //
-//	GET  /v1/healthz    liveness + run-cache statistics
-//	POST /v1/runs       async submit: {"mix":"W1","policy":"DTM-ACG"} → {"id":"run-1"}
-//	GET  /v1/runs/{id}  job status/result
-//	POST /v1/sweeps     sync grid sweep, e.g.
-//	                    {"grid":{"mixes":["W1","W2"],"policies":["DTM-TS","DTM-BW"]},
-//	                     "normalize":true}
+//	GET    /v1/healthz           liveness + run-cache statistics
+//	POST   /v1/runs              async submit: {"mix":"W1","policy":"DTM-ACG"} → {"id":"run-1"}
+//	GET    /v1/runs              job listing (?status=running, ?offset=, ?limit=)
+//	GET    /v1/runs/{id}         job status/result (?traces=1 for temperature traces)
+//	GET    /v1/runs/{id}/events  live per-spec progress over SSE
+//	DELETE /v1/runs/{id}         cancel in-flight / evict finished
+//	POST   /v1/sweeps            sync grid sweep (?async=1 submits a job), e.g.
+//	                             {"grid":{"mixes":["W1","W2"],"policies":["DTM-TS","DTM-BW"]},
+//	                              "normalize":true}
 //
 // On SIGINT/SIGTERM the server shuts down gracefully: it stops accepting
 // requests, cancels in-flight simulations, and (with -state) persists the
@@ -34,6 +40,7 @@ import (
 	"time"
 
 	"dramtherm/internal/core"
+	"dramtherm/internal/httpapi"
 	"dramtherm/internal/sweep"
 )
 
@@ -44,6 +51,8 @@ func main() {
 		replicas = flag.Int("replicas", 0, "batch copies per application (0 = Chapter 4 default)")
 		scale    = flag.Float64("instrscale", 0, "application length scale factor (0 = 1.0; small values for demos)")
 		state    = flag.String("state", "", "gob state file: loaded at startup if present, saved on shutdown")
+		jobTTL   = flag.Duration("job-ttl", 15*time.Minute, "evict finished jobs this long after completion (0 disables eviction)")
+		maxJobs  = flag.Int("max-jobs", sweep.DefaultMaxJobs, "job registry bound; submissions beyond it are rejected while all jobs run")
 	)
 	flag.Parse()
 
@@ -68,16 +77,22 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	ttl := *jobTTL
+	if ttl <= 0 {
+		ttl = -1 // flag convention: 0 disables; Config uses <0 for that
+	}
+	api := httpapi.New(ctx, eng, httpapi.Config{JobTTL: ttl, MaxJobs: *maxJobs})
+	defer api.Close()
 	srv := &http.Server{
 		Addr:        *addr,
-		Handler:     newServer(ctx, eng),
+		Handler:     api,
 		BaseContext: func(net.Listener) context.Context { return ctx },
 	}
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("dramthermd listening on %s (workers=%d, config %s)",
-			*addr, *workers, eng.System().ConfigDigest())
+		log.Printf("dramthermd listening on %s (workers=%d, job-ttl=%s, max-jobs=%d, config %s)",
+			*addr, *workers, *jobTTL, *maxJobs, eng.System().ConfigDigest())
 		errc <- srv.ListenAndServe()
 	}()
 

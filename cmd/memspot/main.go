@@ -1,23 +1,27 @@
 // Command memspot runs one level-2 thermal simulation (the MEMSpot stage
 // of §4.3.1) for a workload mix under a chosen DTM policy and prints the
-// run summary plus an ASCII temperature trace.
+// run summary plus an ASCII temperature trace. Runs go through the
+// internal/sweep engine, so the spec run and its No-limit normalization
+// baseline share the one deduplicating run cache with every other entry
+// point.
 //
 // Usage:
 //
 //	memspot -mix W1 -policy DTM-ACG -cooling AOHS_1.5
 //	memspot -mix W2 -policy DTM-CDVFS+PID -model integrated -replicas 4
 //	memspot -traces w1.traces -mix W1 -policy DTM-BW   # reuse dumped traces
+//	memspot -mix W1 -instrscale 0.05                   # fast demo scale
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"dramtherm/internal/core"
-	"dramtherm/internal/fbconfig"
 	"dramtherm/internal/report"
-	"dramtherm/internal/workload"
+	"dramtherm/internal/sweep"
 )
 
 func main() {
@@ -27,42 +31,36 @@ func main() {
 		cooling  = flag.String("cooling", "AOHS_1.5", "cooling config: AOHS_1.5 or FDHS_1.0")
 		model    = flag.String("model", "isolated", "thermal model: isolated or integrated")
 		replicas = flag.Int("replicas", 8, "batch copies per application")
+		scale    = flag.Float64("instrscale", 0, "application length scale factor (0 = 1.0; small values for demos)")
 		traces   = flag.String("traces", "", "optional gob trace file from tracegen")
 	)
 	flag.Parse()
 
-	mix, err := workload.MixByName(*mixName)
-	fail(err)
-	cool := fbconfig.CoolingAOHS15
-	if *cooling == "FDHS_1.0" {
-		cool = fbconfig.CoolingFDHS10
-	} else if *cooling != "AOHS_1.5" {
-		fail(fmt.Errorf("unknown cooling %q", *cooling))
-	}
-	kind := core.Isolated
-	if *model == "integrated" {
-		kind = core.Integrated
-	}
-
 	cfg := core.DefaultConfig()
 	cfg.Replicas = *replicas
-	sys := core.NewSystem(cfg)
+	if *scale > 0 {
+		cfg.InstrScale = *scale
+	}
+	eng := sweep.NewEngine(core.NewSystem(cfg), 0)
 	if *traces != "" {
 		f, err := os.Open(*traces)
 		fail(err)
-		fail(sys.Store().Load(f))
+		fail(eng.System().Store().Load(f))
 		f.Close()
 	}
 
-	p, err := sys.NewPolicy(*policy)
+	spec := sweep.Spec{Mix: *mixName, Policy: *policy, Cooling: *cooling, Model: *model}
+	fail(eng.Validate(spec))
+
+	ctx := context.Background()
+	res, err := eng.Run(ctx, spec)
 	fail(err)
-	res, err := sys.Run(core.RunSpec{Mix: mix, Policy: p, Cooling: cool, Model: kind})
-	fail(err)
-	base, err := sys.Baseline(mix, cool, kind)
+	// The spec run is already cached, so this only adds the baseline.
+	norm, err := eng.Normalized(ctx, spec)
 	fail(err)
 
-	fmt.Printf("mix %s under %s (%s, %s model)\n", mix.Name, p.Name(), cool.Name(), kind)
-	fmt.Printf("  running time:     %.0f s  (normalized %.3f vs No-limit)\n", res.Seconds, res.Seconds/base.Seconds)
+	fmt.Printf("mix %s under %s (%s, %s model)\n", *mixName, *policy, *cooling, *model)
+	fmt.Printf("  running time:     %.0f s  (normalized %.3f vs No-limit)\n", res.Seconds, norm)
 	fmt.Printf("  memory traffic:   %.0f GB (read %.0f / write %.0f)\n", res.TotalTrafficGB(), res.ReadGB, res.WriteGB)
 	fmt.Printf("  FBDIMM energy:    %.1f kJ   CPU energy: %.1f kJ\n", res.MemEnergyJ/1e3, res.CPUEnergyJ/1e3)
 	fmt.Printf("  max AMB/DRAM:     %.1f / %.1f C   overshoot episodes: %d\n", res.MaxAMB, res.MaxDRAM, res.Overshoots)

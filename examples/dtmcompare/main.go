@@ -14,10 +14,15 @@ import (
 func main() {
 	mixName := flag.String("mix", "W2", "workload mix (W1..W8)")
 	cooling := flag.String("cooling", "AOHS_1.5", "AOHS_1.5 or FDHS_1.0")
+	replicas := flag.Int("replicas", 6, "batch copies per application")
+	scale := flag.Float64("instrscale", 0, "application length scale factor (0 = 1.0; small values for quick demos)")
 	flag.Parse()
 
 	cfg := dramtherm.DefaultConfig()
-	cfg.Replicas = 6
+	cfg.Replicas = *replicas
+	if *scale > 0 {
+		cfg.InstrScale = *scale
+	}
 	sys := dramtherm.NewSystem(cfg)
 
 	mix, err := dramtherm.MixByName(*mixName)

@@ -3,6 +3,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -10,7 +11,14 @@ import (
 )
 
 func main() {
-	sys := dramtherm.NewSystem(dramtherm.DefaultConfig())
+	scale := flag.Float64("instrscale", 0, "application length scale factor (0 = 1.0; small values for quick demos)")
+	flag.Parse()
+
+	cfg := dramtherm.DefaultConfig()
+	if *scale > 0 {
+		cfg.InstrScale = *scale
+	}
+	sys := dramtherm.NewSystem(cfg)
 
 	mix, err := dramtherm.MixByName("W1") // swim, mgrid, applu, galgel
 	if err != nil {

@@ -1,50 +1,219 @@
-// serverdtm reproduces the Chapter 5 workflow on the emulated servers:
-// run a workload batch on the PE1950 and SR1500AL under each software DTM
-// policy and report performance, power, inlet temperature and energy —
-// the measurement campaign of §5.4 in miniature.
+// serverdtm drives the dramthermd HTTP API end to end: it embeds the
+// internal/httpapi server in-process over a demo-scale engine, submits
+// an asynchronous DTM-policy sweep job, follows its live progress over
+// the SSE event stream (GET /v1/runs/{id}/events), fetches the finished
+// normalized-runtime table, and finally walks the job lifecycle — the
+// listing and DELETE endpoints. Point -server at a running dramthermd
+// to drive a remote instance instead of the embedded one.
+//
+// Usage:
+//
+//	go run ./examples/serverdtm
+//	go run ./examples/serverdtm -mixes W1,W2 -full
+//	go run ./examples/serverdtm -server http://localhost:8080
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 
-	"dramtherm/internal/platform"
-	"dramtherm/internal/workload"
+	"dramtherm/internal/core"
+	"dramtherm/internal/fbconfig"
+	"dramtherm/internal/httpapi"
+	"dramtherm/internal/sweep"
+
+	"context"
 )
 
 func main() {
-	mixName := flag.String("mix", "W3", "workload mix")
-	runs := flag.Int("runs", 2, "batch runs per application")
+	var (
+		mixes    = flag.String("mixes", "W1,W2", "comma-separated workload mixes")
+		policies = flag.String("policies", "DTM-TS,DTM-BW,DTM-ACG,DTM-CDVFS", "comma-separated DTM policies")
+		full     = flag.Bool("full", false, "full-scale batches (default is a fast demo scale)")
+		scale    = flag.Float64("instrscale", 0, "override the application length scale factor (embedded server only)")
+		server   = flag.String("server", "", "URL of a running dramthermd (default: embedded in-process server)")
+	)
 	flag.Parse()
 
-	mix, err := workload.MixByName(*mixName)
+	base := *server
+	if base == "" {
+		// Embed the whole service in-process: same engine, same wire
+		// format, no separate daemon needed for the demo.
+		cfg := core.DefaultConfig()
+		if !*full {
+			cfg.Replicas = 1
+			cfg.InstrScale = 0.05
+			cfg.Limits = fbconfig.ThermalLimits{AMBTDP: 103.5, DRAMTDP: 85, AMBTRP: 102.5, DRAMTRP: 84}
+		}
+		if *scale > 0 {
+			cfg.InstrScale = *scale
+		}
+		eng := sweep.NewEngine(core.NewSystem(cfg), 0)
+		api := httpapi.New(context.Background(), eng, httpapi.Config{})
+		defer api.Close()
+		ts := httptest.NewServer(api)
+		defer ts.Close()
+		base = ts.URL
+		fmt.Printf("embedded dramthermd at %s (%d workers)\n", base, eng.Workers())
+	}
+
+	// Submit the sweep as an asynchronous job.
+	req := map[string]any{
+		"grid": sweep.Grid{
+			Mixes:    strings.Split(*mixes, ","),
+			Policies: strings.Split(*policies, ","),
+		},
+		"normalize": true,
+	}
+	body, err := json.Marshal(req)
 	if err != nil {
 		log.Fatal(err)
 	}
+	resp, err := http.Post(base+"/v1/sweeps?async=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var submitted struct {
+		ID    string `json:"id"`
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&submitted); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	if submitted.Error != "" || submitted.ID == "" {
+		log.Fatalf("submit failed (%d): %s", resp.StatusCode, submitted.Error)
+	}
+	fmt.Printf("submitted job %s\n\n", submitted.ID)
 
-	for _, m := range []platform.Machine{platform.PE1950(), platform.SR1500AL()} {
-		store := platform.NewStore(m, 1)
-		fmt.Printf("=== %s (AMB TDP %.0f C, ambient %.0f C)\n", m.Name, m.AMBTDP, m.SystemAmbient)
-		var base platform.RunResult
-		for _, k := range platform.PolicyKinds() {
-			res, err := platform.RunPlatform(platform.RunConfig{
-				Machine:    m,
-				Policy:     k,
-				Mix:        mix,
-				RunsPerApp: *runs,
-				SensorSeed: 42,
-			}, store)
-			if err != nil {
-				log.Fatal(err)
+	// Follow the job live over SSE until the terminal event.
+	if err := streamEvents(base, submitted.ID); err != nil {
+		log.Fatal(err)
+	}
+
+	// Fetch the finished result and print the normalized-runtime table.
+	var job struct {
+		Status string `json:"status"`
+		Error  string `json:"error"`
+		Sweep  *struct {
+			Wall  float64 `json:"wall_seconds"`
+			Cache struct {
+				Builds int64 `json:"builds"`
+				Hits   int64 `json:"hits"`
+				Waits  int64 `json:"waits"`
+			} `json:"cache"`
+			Table struct {
+				Header []string   `json:"header"`
+				Rows   [][]string `json:"rows"`
+			} `json:"table"`
+		} `json:"sweep"`
+	}
+	getJSON(base+"/v1/runs/"+submitted.ID, &job)
+	if job.Status != "done" || job.Sweep == nil {
+		log.Fatalf("job ended %s: %s", job.Status, job.Error)
+	}
+	fmt.Printf("\nnormalized runtime (vs No-limit), %.1fs wall:\n", job.Sweep.Wall)
+	printTable(job.Sweep.Table.Header, job.Sweep.Table.Rows)
+	fmt.Printf("cache: %d simulations run, %d deduplicated or cached\n\n",
+		job.Sweep.Cache.Builds, job.Sweep.Cache.Hits+job.Sweep.Cache.Waits)
+
+	// Job lifecycle: list finished jobs, then evict ours.
+	var list struct {
+		Total int `json:"total"`
+	}
+	getJSON(base+"/v1/runs?status=done", &list)
+	fmt.Printf("registry holds %d finished job(s)\n", list.Total)
+	del, err := http.NewRequest(http.MethodDelete, base+"/v1/runs/"+submitted.ID, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dresp, err := http.DefaultClient.Do(del)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dresp.Body.Close()
+	fmt.Printf("DELETE %s → %s (finished jobs are evicted; running ones would be cancelled)\n",
+		submitted.ID, dresp.Status)
+}
+
+// streamEvents consumes the job's SSE stream, printing one line per
+// event, and returns once the terminal event arrives.
+func streamEvents(base, id string) error {
+	resp, err := http.Get(base + "/v1/runs/" + id + "/events")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		return fmt.Errorf("expected an SSE stream, got %q (%s)", ct, resp.Status)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var ev sweep.JobEvent
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue // event:/id: framing lines and heartbeat comments
+		}
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			return fmt.Errorf("bad event %q: %w", line, err)
+		}
+		switch ev.Kind {
+		case "started":
+			fmt.Printf("  job started: %d specs\n", ev.Total)
+		case string(sweep.EventStarted):
+			fmt.Printf("  → %s/%s\n", ev.Spec.Mix, ev.Spec.Policy)
+		case string(sweep.EventFinished):
+			fmt.Printf("  ✓ [%2d/%2d] %s/%s  %.0f s (%s)\n",
+				ev.Done, ev.Total, ev.Spec.Mix, ev.Spec.Policy, ev.Seconds, ev.Outcome)
+		case string(sweep.EventError):
+			fmt.Printf("  ✗ [%2d/%2d] %s/%s: %s\n",
+				ev.Done, ev.Total, ev.Spec.Mix, ev.Spec.Policy, ev.Error)
+		case "done", "error", "cancelled":
+			fmt.Printf("  job %s after %d/%d specs\n", ev.Kind, ev.Done, ev.Total)
+			return nil
+		}
+	}
+	return fmt.Errorf("event stream ended without a terminal event: %w", sc.Err())
+}
+
+func getJSON(url string, v any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func printTable(header []string, rows [][]string) {
+	w := make([]int, len(header))
+	for i, h := range header {
+		w[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if i < len(w) && len(c) > w[i] {
+				w[i] = len(c)
 			}
-			if k == platform.NoLimit {
-				base = res
-			}
-			fmt.Printf("%-10s  time %6.0fs (norm %.2f)  cpu %5.1fW  inlet %.1fC  maxAMB %5.1fC  energy %6.0f kJ\n",
-				k, res.Seconds, res.Seconds/base.Seconds, res.AvgCPUWatt, res.AvgInletC,
-				res.MaxAMB, res.TotalEnergyJ()/1e3)
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			fmt.Printf("  %-*s", w[i], c)
 		}
 		fmt.Println()
+	}
+	line(header)
+	for _, row := range rows {
+		line(row)
 	}
 }

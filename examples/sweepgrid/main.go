@@ -27,6 +27,7 @@ func main() {
 		workers = flag.Int("workers", 0, "simulation worker pool width (0 = GOMAXPROCS)")
 		state   = flag.String("state", "", "gob state file for warm restarts")
 		full    = flag.Bool("full", false, "full-scale batches (default is a fast demo scale)")
+		scale   = flag.Float64("instrscale", 0, "override the application length scale factor")
 	)
 	flag.Parse()
 
@@ -39,6 +40,9 @@ func main() {
 		cfg.Replicas = 1
 		cfg.InstrScale = 0.05
 		cfg.Limits = fbconfig.ThermalLimits{AMBTDP: 103.5, DRAMTDP: 85, AMBTRP: 102.5, DRAMTRP: 84}
+	}
+	if *scale > 0 {
+		cfg.InstrScale = *scale
 	}
 	eng := sweep.NewEngine(core.NewSystem(cfg), *workers)
 

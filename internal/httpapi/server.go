@@ -1,0 +1,420 @@
+// Package httpapi serves a sweep.Engine over HTTP/JSON — the wire layer
+// of dramthermd, importable so examples and tests can embed the full
+// service in-process:
+//
+//	POST   /v1/runs              submit one run asynchronously → {"id": ...}
+//	GET    /v1/runs              list jobs (?status=, ?offset=, ?limit=)
+//	GET    /v1/runs/{id}         job status and, when done, the result
+//	                             (?traces=1 includes temperature traces)
+//	GET    /v1/runs/{id}/events  live job progress over SSE
+//	DELETE /v1/runs/{id}         cancel a running job / evict a finished one
+//	POST   /v1/sweeps            spec list or grid; ?async=1 submits a job
+//	GET    /v1/healthz           liveness + cache statistics
+//
+// Async jobs live in a sweep.Jobs registry: bounded, TTL-evicted, each
+// with its own cancellable context and a retained event log streamed by
+// the SSE endpoint.
+package httpapi
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"time"
+
+	"dramtherm/internal/sim"
+	"dramtherm/internal/sweep"
+)
+
+// Config tunes a Server. The zero value selects the defaults.
+type Config struct {
+	// JobTTL evicts finished jobs this long after completion
+	// (default 15m; < 0 disables TTL eviction).
+	JobTTL time.Duration
+	// MaxJobs bounds the job registry (default sweep.DefaultMaxJobs).
+	MaxJobs int
+	// Heartbeat is the SSE keep-alive comment period (default 15s).
+	Heartbeat time.Duration
+	// Logf sinks internal-error logs (default log.Printf).
+	Logf func(format string, v ...any)
+}
+
+// Server is the HTTP front end. It implements http.Handler.
+type Server struct {
+	eng       *sweep.Engine
+	mux       *http.ServeMux
+	jobs      *sweep.Jobs
+	heartbeat time.Duration
+	logf      func(format string, v ...any)
+
+	// base is the lifetime context of asynchronous jobs; cancelling it
+	// (server shutdown) aborts in-flight simulations.
+	base context.Context
+}
+
+// New wires the routes. base bounds the lifetime of async jobs. Call
+// Close when done to stop the registry's background reaper.
+func New(base context.Context, eng *sweep.Engine, cfg Config) *Server {
+	if cfg.JobTTL == 0 {
+		cfg.JobTTL = 15 * time.Minute
+	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = 15 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	s := &Server{
+		eng:       eng,
+		mux:       http.NewServeMux(),
+		jobs:      sweep.NewJobs(sweep.JobsOptions{TTL: cfg.JobTTL, MaxJobs: cfg.MaxJobs}),
+		heartbeat: cfg.Heartbeat,
+		logf:      cfg.Logf,
+		base:      base,
+	}
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("POST /v1/runs", s.handleSubmitRun)
+	s.mux.HandleFunc("GET /v1/runs", s.handleListRuns)
+	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleGetRun)
+	s.mux.HandleFunc("GET /v1/runs/{id}/events", s.handleRunEvents)
+	s.mux.HandleFunc("DELETE /v1/runs/{id}", s.handleDeleteRun)
+	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
+	return s
+}
+
+// Close stops the job registry's background reaper.
+func (s *Server) Close() { s.jobs.Close() }
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// runSummary is the wire form of a result: the scalar aggregates and,
+// only when the client opts in with ?traces=1, the temperature traces.
+type runSummary struct {
+	Seconds    float64   `json:"seconds"`
+	Normalized float64   `json:"normalized,omitempty"`
+	TimedOut   bool      `json:"timed_out,omitempty"`
+	Completed  int       `json:"completed"`
+	ReadGB     float64   `json:"read_gb"`
+	WriteGB    float64   `json:"write_gb"`
+	MemEnergyJ float64   `json:"mem_energy_j"`
+	CPUEnergyJ float64   `json:"cpu_energy_j"`
+	MaxAMB     float64   `json:"max_amb_c"`
+	MaxDRAM    float64   `json:"max_dram_c"`
+	Overshoots int       `json:"overshoots"`
+	AMBTrace   []float64 `json:"amb_trace,omitempty"`
+	DRAMTrace  []float64 `json:"dram_trace,omitempty"`
+}
+
+func summarize(r sim.MEMSpotResult, traces bool) *runSummary {
+	out := &runSummary{
+		Seconds:    r.Seconds,
+		TimedOut:   r.TimedOut,
+		Completed:  r.Completed,
+		ReadGB:     r.ReadGB,
+		WriteGB:    r.WriteGB,
+		MemEnergyJ: r.MemEnergyJ,
+		CPUEnergyJ: r.CPUEnergyJ,
+		MaxAMB:     r.MaxAMB,
+		MaxDRAM:    r.MaxDRAM,
+		Overshoots: r.Overshoots,
+	}
+	if traces {
+		out.AMBTrace = r.AMBTrace
+		out.DRAMTrace = r.DRAMTrace
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // nothing to do about a dead client
+}
+
+// writeClientErr reports a 4xx whose cause is the client's own input;
+// the message is safe (and useful) to return verbatim.
+func writeClientErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// writeServerErr reports a 5xx: the underlying error is logged
+// server-side and the client gets a generic body, so internal details
+// (paths, config digests, backend state) never leak onto the wire.
+func (s *Server) writeServerErr(w http.ResponseWriter, r *http.Request, err error) {
+	s.logf("httpapi: %s %s: %v", r.Method, r.URL.Path, err)
+	writeJSON(w, http.StatusInternalServerError, map[string]string{"error": "internal error"})
+}
+
+// wantFlag reads a boolean query parameter ("1" or "true").
+func wantFlag(r *http.Request, name string) bool {
+	v := r.URL.Query().Get(name)
+	return v == "1" || v == "true"
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"jobs":   s.jobs.Len(),
+		"cache":  s.eng.Stats(),
+	})
+}
+
+// jobView is the wire rendering of one job. Total carries the spec
+// count for both kinds.
+type jobView struct {
+	ID        string          `json:"id"`
+	Kind      sweep.JobKind   `json:"kind"`
+	Spec      *sweep.Spec     `json:"spec,omitempty"` // run jobs
+	Status    sweep.JobStatus `json:"status"`
+	Error     string          `json:"error,omitempty"`
+	Submitted time.Time       `json:"submitted"`
+	Finished  *time.Time      `json:"finished,omitempty"`
+	Done      int             `json:"done"`
+	Total     int             `json:"total"`
+	Result    *runSummary     `json:"result,omitempty"` // run jobs, when done
+	Sweep     *sweepResponse  `json:"sweep,omitempty"`  // sweep jobs, when done
+}
+
+// sweepPayload is what a finished sweep job stores in the registry: the
+// raw engine results, rendered into wire form at fetch time so the
+// traces opt-in applies per request.
+type sweepPayload struct {
+	res       *sweep.Result
+	normalize bool
+	wall      float64
+}
+
+func (s *Server) viewJob(snap sweep.JobSnapshot, traces bool) jobView {
+	v := jobView{
+		ID:        snap.ID,
+		Kind:      snap.Kind,
+		Status:    snap.Status,
+		Error:     snap.Error,
+		Submitted: snap.Submitted,
+		Finished:  snap.Finished,
+		Done:      snap.Done,
+		Total:     snap.Total,
+	}
+	if snap.Kind == sweep.JobRun && len(snap.Specs) == 1 {
+		v.Spec = &snap.Specs[0]
+	}
+	switch res := snap.Result.(type) {
+	case sim.MEMSpotResult:
+		v.Result = summarize(res, traces)
+	case *sweepPayload:
+		v.Sweep = s.sweepResponseOf(snap.Specs, res.res, res.normalize, res.wall, traces)
+	}
+	return v
+}
+
+func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
+	var spec sweep.Spec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeClientErr(w, http.StatusBadRequest, fmt.Errorf("decoding spec: %w", err))
+		return
+	}
+	// Validate now so the client gets a 400 rather than a failed job.
+	if err := s.eng.Validate(spec); err != nil {
+		writeClientErr(w, http.StatusBadRequest, err)
+		return
+	}
+	job, err := s.jobs.Create(s.base, sweep.JobRun, []sweep.Spec{spec})
+	if err != nil {
+		// Registry exhaustion is load, not client error: 503 invites retry.
+		writeClientErr(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	go func() {
+		res, err := s.eng.RunObserved(job.Context(), spec, func(ev sweep.Event) {
+			job.Publish(sweep.JobEventFrom(ev))
+		})
+		if err != nil {
+			job.Finish(nil, err)
+			return
+		}
+		job.Finish(res, nil)
+	}()
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": job.ID()})
+}
+
+// listResponse pages job listings.
+type listResponse struct {
+	Jobs   []jobView `json:"jobs"`
+	Total  int       `json:"total"`
+	Offset int       `json:"offset"`
+	Limit  int       `json:"limit"`
+}
+
+func (s *Server) handleListRuns(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	status := sweep.JobStatus(q.Get("status"))
+	switch status {
+	case "", sweep.JobRunning, sweep.JobDone, sweep.JobError, sweep.JobCancelled:
+	default:
+		writeClientErr(w, http.StatusBadRequest, fmt.Errorf("unknown status %q", status))
+		return
+	}
+	offset, err := intParam(q.Get("offset"), 0)
+	if err != nil {
+		writeClientErr(w, http.StatusBadRequest, err)
+		return
+	}
+	limit, err := intParam(q.Get("limit"), 50)
+	if err != nil {
+		writeClientErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if limit == 0 {
+		limit = 50 // an explicit 0 must not mean "unbounded" on the wire
+	}
+	limit = min(limit, 500)
+	snaps, total := s.jobs.List(status, offset, limit)
+	out := listResponse{Jobs: make([]jobView, 0, len(snaps)), Total: total, Offset: offset, Limit: limit}
+	for _, snap := range snaps {
+		// Listings stay scalar: traces are per-job fetches only.
+		out.Jobs = append(out.Jobs, s.viewJob(snap, false))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func intParam(v string, def int) (int, error) {
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad integer parameter %q", v)
+	}
+	return n, nil
+}
+
+func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeClientErr(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.viewJob(job.Snapshot(), wantFlag(r, "traces")))
+}
+
+func (s *Server) handleDeleteRun(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	evicted, ok := s.jobs.Cancel(id)
+	switch {
+	case !ok:
+		writeClientErr(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+	case evicted:
+		writeJSON(w, http.StatusOK, map[string]string{"id": id, "status": "evicted"})
+	default:
+		// Cancellation is asynchronous: the job turns "cancelled" once
+		// the simulation goroutine observes its dead context.
+		writeJSON(w, http.StatusAccepted, map[string]string{"id": id, "status": "cancelling"})
+	}
+}
+
+// sweepRequest is the POST /v1/sweeps body: either an explicit spec list
+// or a grid to expand (or both, concatenated).
+type sweepRequest struct {
+	Specs     []sweep.Spec `json:"specs,omitempty"`
+	Grid      *sweep.Grid  `json:"grid,omitempty"`
+	Normalize bool         `json:"normalize,omitempty"`
+}
+
+// sweepResponse reports per-spec summaries plus the aggregate table.
+type sweepResponse struct {
+	Count   int           `json:"count"`
+	Results []sweepResult `json:"results"`
+	Table   tableJSON     `json:"table"`
+	Cache   sweep.Stats   `json:"cache"`
+	Wall    float64       `json:"wall_seconds"`
+}
+
+type sweepResult struct {
+	Spec    sweep.Spec  `json:"spec"`
+	Summary *runSummary `json:"summary"`
+}
+
+type tableJSON struct {
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+}
+
+func (s *Server) sweepResponseOf(specs []sweep.Spec, res *sweep.Result, normalize bool, wall float64, traces bool) *sweepResponse {
+	out := &sweepResponse{Count: len(specs), Cache: s.eng.Stats(), Wall: wall}
+	for i := range specs {
+		sum := summarize(res.Results[i], traces)
+		if normalize {
+			sum.Normalized = res.Norms[i]
+		}
+		out.Results = append(out.Results, sweepResult{Spec: specs[i], Summary: sum})
+	}
+	tab := res.Table("sweep")
+	out.Table = tableJSON{Header: tab.Header, Rows: tab.Rows}
+	return out
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req sweepRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeClientErr(w, http.StatusBadRequest, fmt.Errorf("decoding sweep: %w", err))
+		return
+	}
+	specs := req.Specs
+	if req.Grid != nil {
+		specs = append(specs, req.Grid.Expand()...)
+	}
+	if len(specs) == 0 {
+		writeClientErr(w, http.StatusBadRequest, fmt.Errorf("empty sweep: provide specs or a grid with mixes"))
+		return
+	}
+	for _, sp := range specs {
+		if err := s.eng.Validate(sp); err != nil {
+			writeClientErr(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+
+	if wantFlag(r, "async") {
+		job, err := s.jobs.Create(s.base, sweep.JobSweep, specs)
+		if err != nil {
+			writeClientErr(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		go func() {
+			start := time.Now()
+			res, err := s.eng.Sweep(job.Context(), specs, sweep.Options{
+				Normalize: req.Normalize,
+				OnEvent:   func(ev sweep.Event) { job.Publish(sweep.JobEventFrom(ev)) },
+			})
+			if err != nil {
+				job.Finish(nil, err)
+				return
+			}
+			job.Finish(&sweepPayload{res: res, normalize: req.Normalize, wall: time.Since(start).Seconds()}, nil)
+		}()
+		writeJSON(w, http.StatusAccepted, map[string]string{"id": job.ID()})
+		return
+	}
+
+	// Synchronous: the sweep runs under the request context (client
+	// disconnect cancels it) bounded by the server lifetime.
+	ctx, cancel := mergeDone(r.Context(), s.base)
+	defer cancel()
+	start := time.Now()
+	res, err := s.eng.Sweep(ctx, specs, sweep.Options{Normalize: req.Normalize})
+	if err != nil {
+		s.writeServerErr(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.sweepResponseOf(specs, res, req.Normalize, time.Since(start).Seconds(), wantFlag(r, "traces")))
+}
+
+// mergeDone returns a context that is cancelled when either parent is.
+func mergeDone(a, b context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(a)
+	stop := context.AfterFunc(b, cancel)
+	return ctx, func() { stop(); cancel() }
+}

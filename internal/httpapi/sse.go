@@ -1,0 +1,88 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"dramtherm/internal/sweep"
+)
+
+// handleRunEvents streams a job's event log as Server-Sent Events. The
+// full retained log is replayed first (so late subscribers see the
+// started event), then live events as they are published, with comment
+// heartbeats across idle periods. The stream ends after the terminal
+// event (done/error/cancelled) or when the client disconnects.
+func (s *Server) handleRunEvents(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeClientErr(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		s.writeServerErr(w, r, fmt.Errorf("response writer %T cannot stream", w))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	heartbeat := time.NewTimer(s.heartbeat)
+	defer heartbeat.Stop()
+	cursor := 0
+	for {
+		evs, changed, finished := job.EventsSince(cursor)
+		for _, ev := range evs {
+			if err := writeSSE(w, ev); err != nil {
+				return // client gone
+			}
+		}
+		cursor += len(evs)
+		if len(evs) > 0 {
+			flusher.Flush()
+		}
+		if finished {
+			// The terminal event is always the last one published, so a
+			// drained log plus a terminal status means we sent it.
+			evs, _, _ := job.EventsSince(cursor)
+			if len(evs) == 0 {
+				return
+			}
+			continue
+		}
+		if !heartbeat.Stop() {
+			select {
+			case <-heartbeat.C:
+			default:
+			}
+		}
+		heartbeat.Reset(s.heartbeat)
+		select {
+		case <-changed:
+		case <-heartbeat.C:
+			if _, err := fmt.Fprintf(w, ": heartbeat\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		case <-s.base.Done():
+			return
+		}
+	}
+}
+
+// writeSSE emits one event in the SSE wire format, using the event's
+// sequence number as the SSE id and its kind as the event name.
+func writeSSE(w http.ResponseWriter, ev sweep.JobEvent) error {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Kind, data)
+	return err
+}

@@ -66,6 +66,32 @@ func (c *Cache[V]) shardOf(key Key) *shard[V] {
 	return &c.shards[maphash.String(c.seed, string(key))%numShards]
 }
 
+// Outcome reports how a Do call was served: by running the builder, by
+// a completed cache entry, or by joining another caller's in-flight
+// build.
+type Outcome int
+
+const (
+	// Built: this caller was the leader and ran the builder itself.
+	Built Outcome = iota
+	// Hit: served from a completed cache entry, no work at all.
+	Hit
+	// Joined: deduplicated against another caller's in-flight build.
+	Joined
+)
+
+// String renders the outcome for logs and wire events.
+func (o Outcome) String() string {
+	switch o {
+	case Hit:
+		return "hit"
+	case Joined:
+		return "joined"
+	default:
+		return "built"
+	}
+}
+
 // Do returns the value for key, building it at most once across all
 // concurrent callers. The first caller for an absent key becomes the
 // leader: it takes a pool slot, runs build, publishes the result and
@@ -76,6 +102,15 @@ func (c *Cache[V]) shardOf(key Key) *shard[V] {
 // one client's disconnect never fails another client's identical
 // request. A later Do after a failure retries from scratch.
 func (c *Cache[V]) Do(ctx context.Context, key Key, build func(context.Context) (V, error)) (V, error) {
+	v, _, err := c.DoTraced(ctx, key, build)
+	return v, err
+}
+
+// DoTraced is Do plus the Outcome: whether this caller built the value,
+// found it completed, or joined an in-flight build. A caller that joins
+// a failing flight and then rebuilds reports Built — the outcome
+// describes how the returned value was finally obtained.
+func (c *Cache[V]) DoTraced(ctx context.Context, key Key, build func(context.Context) (V, error)) (V, Outcome, error) {
 	var zero V
 	sh := c.shardOf(key)
 	for {
@@ -83,7 +118,7 @@ func (c *Cache[V]) Do(ctx context.Context, key Key, build func(context.Context) 
 		if v, ok := sh.done[key]; ok {
 			sh.mu.Unlock()
 			c.hits.Add(1)
-			return v, nil
+			return v, Hit, nil
 		}
 		if fl, ok := sh.flights[key]; ok {
 			sh.mu.Unlock()
@@ -91,21 +126,21 @@ func (c *Cache[V]) Do(ctx context.Context, key Key, build func(context.Context) 
 			select {
 			case <-fl.done:
 			case <-ctx.Done():
-				return zero, ctx.Err()
+				return zero, Joined, ctx.Err()
 			}
 			if fl.err == nil {
-				return fl.val, nil
+				return fl.val, Joined, nil
 			}
 			// The leader failed. If we are still live, loop and take
 			// (or share) leadership of a fresh build; the flight has
 			// been cleared. Otherwise report our own cancellation.
 			if err := ctx.Err(); err != nil {
-				return zero, err
+				return zero, Joined, err
 			}
 			if errors.Is(fl.err, context.Canceled) || errors.Is(fl.err, context.DeadlineExceeded) {
 				continue
 			}
-			return zero, fl.err
+			return zero, Joined, fl.err
 		}
 		fl := &flight[V]{done: make(chan struct{})}
 		sh.flights[key] = fl
@@ -116,7 +151,7 @@ func (c *Cache[V]) Do(ctx context.Context, key Key, build func(context.Context) 
 		case c.sem <- struct{}{}:
 		case <-ctx.Done():
 			c.abort(sh, key, fl, ctx.Err())
-			return zero, ctx.Err()
+			return zero, Built, ctx.Err()
 		}
 		c.builds.Add(1)
 		v, err := build(ctx)
@@ -124,7 +159,7 @@ func (c *Cache[V]) Do(ctx context.Context, key Key, build func(context.Context) 
 
 		if err != nil {
 			c.abort(sh, key, fl, err)
-			return zero, err
+			return zero, Built, err
 		}
 		fl.val = v
 		sh.mu.Lock()
@@ -132,7 +167,7 @@ func (c *Cache[V]) Do(ctx context.Context, key Key, build func(context.Context) 
 		delete(sh.flights, key)
 		sh.mu.Unlock()
 		close(fl.done)
-		return v, nil
+		return v, Built, nil
 	}
 }
 

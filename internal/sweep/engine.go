@@ -129,19 +129,43 @@ func (e *Engine) Resolve(spec Spec) (core.RunSpec, error) {
 // completed runs. The returned result is shared with other callers and
 // must be treated as read-only.
 func (e *Engine) Run(ctx context.Context, spec Spec) (sim.MEMSpotResult, error) {
+	res, _, err := e.RunTraced(ctx, spec)
+	return res, err
+}
+
+// RunTraced is Run plus the cache Outcome: whether this call simulated,
+// hit a completed entry, or joined an identical in-flight run.
+func (e *Engine) RunTraced(ctx context.Context, spec Spec) (sim.MEMSpotResult, Outcome, error) {
 	// Validate eagerly (without building run state) so bad specs fail
 	// fast even on the cache hit path, and so resolution inside the
 	// builder cannot fail.
 	if err := e.Validate(spec); err != nil {
-		return sim.MEMSpotResult{}, err
+		return sim.MEMSpotResult{}, Built, err
 	}
-	return e.cache.Do(ctx, spec.Key(e.digest), func(ctx context.Context) (sim.MEMSpotResult, error) {
+	return e.cache.DoTraced(ctx, spec.Key(e.digest), func(ctx context.Context) (sim.MEMSpotResult, error) {
 		rs, err := e.Resolve(spec) // fresh policy for this execution
 		if err != nil {
 			return sim.MEMSpotResult{}, err
 		}
 		return e.run(ctx, rs)
 	})
+}
+
+// RunObserved executes the spec like Run while reporting its lifecycle
+// to onEvent: a started event before execution and a finished or error
+// event after, tagged with how the run was served. onEvent may be nil.
+func (e *Engine) RunObserved(ctx context.Context, spec Spec, onEvent func(Event)) (sim.MEMSpotResult, error) {
+	if onEvent == nil {
+		return e.Run(ctx, spec)
+	}
+	onEvent(Event{Kind: EventStarted, Spec: spec, Total: 1})
+	res, out, err := e.RunTraced(ctx, spec)
+	if err != nil {
+		onEvent(Event{Kind: EventError, Spec: spec, Done: 1, Total: 1, Outcome: out, Err: err})
+		return res, err
+	}
+	onEvent(Event{Kind: EventFinished, Spec: spec, Done: 1, Total: 1, Outcome: out, Seconds: res.Seconds})
+	return res, nil
 }
 
 // Normalized executes the spec and its No-limit baseline (same mix,

@@ -17,6 +17,37 @@ type Progress struct {
 	Err   error
 }
 
+// EventKind classifies a per-spec run lifecycle event.
+type EventKind string
+
+const (
+	// EventStarted fires when a spec's run begins executing (or begins
+	// waiting for the cache/pool — before any result exists).
+	EventStarted EventKind = "spec_started"
+	// EventFinished fires when a spec's run completes successfully.
+	EventFinished EventKind = "spec_finished"
+	// EventError fires when a spec's run fails or is cancelled.
+	EventError EventKind = "spec_error"
+)
+
+// Event is one per-spec lifecycle notification from RunObserved or
+// Sweep. Unlike Progress (finish-only), events also mark run starts and
+// carry the cache outcome, so observers can distinguish fresh
+// simulations from cache hits and deduplicated joins.
+type Event struct {
+	Kind  EventKind
+	Index int // position in the sweep's spec list; 0 for single runs
+	Spec  Spec
+	Done  int // specs finished so far including this one (finish events)
+	Total int // sweep size; 1 for single runs
+	// Outcome tells how the run was served (finish events): Built means
+	// this call simulated, Hit a completed cache entry, Joined an
+	// identical in-flight run.
+	Outcome Outcome
+	Seconds float64 // simulated runtime, on EventFinished
+	Err     error   // non-nil on EventError
+}
+
 // Options tunes Sweep execution.
 type Options struct {
 	// Normalize additionally runs each spec's No-limit baseline and
@@ -26,6 +57,13 @@ type Options struct {
 	// is invoked from worker goroutines and must be safe for concurrent
 	// use.
 	OnProgress func(Progress)
+	// OnEvent, when non-nil, additionally observes run starts and cache
+	// outcomes (see Event). Finish events (EventFinished/EventError) are
+	// delivered serialized and in completion order — their Done counters
+	// never regress — so the callback must be fast and must not call
+	// back into the engine. Start events follow the OnProgress contract:
+	// concurrent, from worker goroutines.
+	OnEvent func(Event)
 }
 
 // Result holds the outcome of one sweep, positionally aligned with the
@@ -62,14 +100,17 @@ func (e *Engine) Sweep(ctx context.Context, specs []Spec, opts Options) (*Result
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			var err error
-			if opts.Normalize {
-				res.Norms[i], err = e.Normalized(ctx, specs[i])
-				if err == nil {
-					res.Results[i], err = e.Run(ctx, specs[i])
+			if opts.OnEvent != nil {
+				opts.OnEvent(Event{Kind: EventStarted, Index: i, Spec: specs[i], Total: len(specs)})
+			}
+			r, out, err := e.RunTraced(ctx, specs[i])
+			if err == nil {
+				res.Results[i] = r
+				if opts.Normalize {
+					// The spec's own run is already cached, so this only
+					// adds the No-limit baseline.
+					res.Norms[i], err = e.Normalized(ctx, specs[i])
 				}
-			} else {
-				res.Results[i], err = e.Run(ctx, specs[i])
 			}
 			mu.Lock()
 			done++
@@ -77,6 +118,17 @@ func (e *Engine) Sweep(ctx context.Context, specs []Spec, opts Options) (*Result
 			if err != nil && firstErr == nil {
 				firstErr = err
 				cancel()
+			}
+			// Finish events go out under the lock so observers (e.g. a
+			// job event log feeding SSE) see Done counters in order.
+			if opts.OnEvent != nil {
+				ev := Event{Kind: EventFinished, Index: i, Spec: specs[i],
+					Done: n, Total: len(specs), Outcome: out, Seconds: r.Seconds}
+				if err != nil {
+					ev = Event{Kind: EventError, Index: i, Spec: specs[i],
+						Done: n, Total: len(specs), Outcome: out, Err: err}
+				}
+				opts.OnEvent(ev)
 			}
 			mu.Unlock()
 			if opts.OnProgress != nil {
