@@ -10,10 +10,20 @@
 //	dramthermd -addr :8080
 //	dramthermd -addr :8080 -workers 8 -state /var/lib/dramtherm/state.gob
 //	dramthermd -job-ttl 1h -max-jobs 4096
+//	dramthermd -peers http://w1:8080,http://w2:8080   # cluster coordinator
+//	dramthermd -peers @/etc/dramtherm/peers            # one URL per line
+//
+// With -peers the node coordinates a cluster: runs are fanned out to the
+// listed dramthermd workers by consistent hashing on the canonical spec
+// key (each worker's cache stays hot for its shard), dead peers are
+// ejected by health probes and failed runs retry on the next ring member,
+// falling back to local execution when every peer is down. Any node can
+// be a coordinator; workers need no flags at all. See docs/ARCHITECTURE.md.
 //
 // Endpoints:
 //
-//	GET    /v1/healthz           liveness + run-cache statistics
+//	GET    /v1/healthz           version, uptime, run-cache statistics, peer ring
+//	POST   /v1/exec              synchronous single-run execution (cluster dispatch)
 //	POST   /v1/runs              async submit: {"mix":"W1","policy":"DTM-ACG"} → {"id":"run-1"}
 //	GET    /v1/runs              job listing (?status=running, ?offset=, ?limit=)
 //	GET    /v1/runs/{id}         job status/result (?traces=1 for temperature traces)
@@ -31,28 +41,74 @@ package main
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"dramtherm/internal/core"
 	"dramtherm/internal/httpapi"
 	"dramtherm/internal/sweep"
+	"dramtherm/internal/sweep/remote"
 )
+
+// version is reported by GET /v1/healthz.
+const version = "0.3.0"
+
+// parsePeers expands the -peers flag: either a comma-separated list of
+// entries or @path naming a file with one entry per line (blank lines
+// and #-comments skipped). Each entry is a bare URL or id=url.
+func parsePeers(arg string) ([]remote.Peer, error) {
+	var entries []string
+	if rest, ok := strings.CutPrefix(arg, "@"); ok {
+		data, err := os.ReadFile(rest)
+		if err != nil {
+			return nil, err
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			if line = strings.TrimSpace(line); line != "" && !strings.HasPrefix(line, "#") {
+				entries = append(entries, line)
+			}
+		}
+	} else {
+		for _, e := range strings.Split(arg, ",") {
+			if e = strings.TrimSpace(e); e != "" {
+				entries = append(entries, e)
+			}
+		}
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("no peers in %q", arg)
+	}
+	out := make([]remote.Peer, len(entries))
+	for i, e := range entries {
+		if id, url, ok := strings.Cut(e, "="); ok {
+			out[i] = remote.Peer{ID: id, URL: url}
+		} else {
+			out[i] = remote.Peer{URL: e}
+		}
+	}
+	return out, nil
+}
 
 func main() {
 	var (
 		addr     = flag.String("addr", ":8080", "listen address")
-		workers  = flag.Int("workers", 0, "simulation worker pool width (0 = GOMAXPROCS)")
+		workers  = flag.Int("workers", 0, "simulation worker pool width (0 = GOMAXPROCS; with -peers, cluster capacity + GOMAXPROCS)")
 		replicas = flag.Int("replicas", 0, "batch copies per application (0 = Chapter 4 default)")
 		scale    = flag.Float64("instrscale", 0, "application length scale factor (0 = 1.0; small values for demos)")
 		state    = flag.String("state", "", "gob state file: loaded at startup if present, saved on shutdown")
 		jobTTL   = flag.Duration("job-ttl", 15*time.Minute, "evict finished jobs this long after completion (0 disables eviction)")
 		maxJobs  = flag.Int("max-jobs", sweep.DefaultMaxJobs, "job registry bound; submissions beyond it are rejected while all jobs run")
+		peers    = flag.String("peers", "", "cluster mode: comma-separated peer URLs (optionally id=url), or @file with one per line")
+		probe    = flag.Duration("peer-probe", 5*time.Second, "peer health-probe period (<=0 disables active probing)")
+		perPeer  = flag.Int("peer-conns", 4, "max concurrent requests per peer")
 	)
 	flag.Parse()
 
@@ -63,7 +119,22 @@ func main() {
 	if *scale > 0 {
 		cfg.InstrScale = *scale
 	}
-	eng := sweep.NewEngine(core.NewSystem(cfg), *workers)
+
+	var peerList []remote.Peer
+	if *peers != "" {
+		var err error
+		if peerList, err = parsePeers(*peers); err != nil {
+			log.Fatalf("-peers: %v", err)
+		}
+	}
+	poolWidth := *workers
+	if poolWidth == 0 && len(peerList) > 0 {
+		// A coordinator's pool slots mostly wait on the network, not the
+		// CPU: size for the cluster's capacity plus local-fallback
+		// headroom instead of local cores. -workers overrides.
+		poolWidth = len(peerList)**perPeer + runtime.GOMAXPROCS(0)
+	}
+	eng := sweep.NewEngine(core.NewSystem(cfg), poolWidth)
 
 	if *state != "" {
 		switch loaded, err := eng.LoadStateFile(*state); {
@@ -77,11 +148,34 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	ttl := *jobTTL
-	if ttl <= 0 {
-		ttl = -1 // flag convention: 0 disables; Config uses <0 for that
+	apiCfg := httpapi.Config{JobTTL: *jobTTL, MaxJobs: *maxJobs, Version: version}
+	if apiCfg.JobTTL <= 0 {
+		apiCfg.JobTTL = -1 // flag convention: 0 disables; Config uses <0 for that
 	}
-	api := httpapi.New(ctx, eng, httpapi.Config{JobTTL: ttl, MaxJobs: *maxJobs})
+
+	if len(peerList) > 0 {
+		probeEvery := *probe
+		if probeEvery <= 0 {
+			probeEvery = -1 // flag convention: 0 disables; Config uses <0 for that
+		}
+		backend, err := remote.New(remote.Config{
+			Peers:      peerList,
+			Key:        eng.Key,
+			Local:      eng.Exec,
+			MaxPerPeer: *perPeer,
+			ProbeEvery: probeEvery,
+			Logf:       log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("-peers: %v", err)
+		}
+		defer backend.Close()
+		eng.SetBackend(backend)
+		apiCfg.ClusterStatus = func() any { return backend.Status() }
+		log.Printf("cluster mode: coordinating %d peer(s)", len(peerList))
+	}
+
+	api := httpapi.New(ctx, eng, apiCfg)
 	defer api.Close()
 	srv := &http.Server{
 		Addr:        *addr,

@@ -1,0 +1,55 @@
+package dramtherm
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline markdown links and images: [text](target).
+var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)\)`)
+
+// TestDocLinks fails on broken relative links in README.md and
+// docs/*.md, so the documentation cannot silently rot as files move.
+// External (scheme-ful) links and pure anchors are out of scope.
+func TestDocLinks(t *testing.T) {
+	files := []string{"README.md"}
+	docs, err := filepath.Glob("docs/*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	files = append(files, docs...)
+	if len(docs) == 0 {
+		t.Error("no docs/*.md found — the architecture and API docs are missing")
+	}
+
+	checked := 0
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") ||
+				strings.HasPrefix(target, "#") {
+				continue
+			}
+			target, _, _ = strings.Cut(target, "#") // drop fragments
+			if target == "" {
+				continue
+			}
+			path := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(path); err != nil {
+				t.Errorf("%s: broken relative link %q (%v)", file, m[1], err)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Error("no relative links found at all — is the link regexp broken?")
+	}
+	t.Logf("checked %d relative links across %d files", checked, len(files))
+}

@@ -1,24 +1,9 @@
-// Package httpapi serves a sweep.Engine over HTTP/JSON — the wire layer
-// of dramthermd, importable so examples and tests can embed the full
-// service in-process:
-//
-//	POST   /v1/runs              submit one run asynchronously → {"id": ...}
-//	GET    /v1/runs              list jobs (?status=, ?offset=, ?limit=)
-//	GET    /v1/runs/{id}         job status and, when done, the result
-//	                             (?traces=1 includes temperature traces)
-//	GET    /v1/runs/{id}/events  live job progress over SSE
-//	DELETE /v1/runs/{id}         cancel a running job / evict a finished one
-//	POST   /v1/sweeps            spec list or grid; ?async=1 submits a job
-//	GET    /v1/healthz           liveness + cache statistics
-//
-// Async jobs live in a sweep.Jobs registry: bounded, TTL-evicted, each
-// with its own cancellable context and a retained event log streamed by
-// the SSE endpoint.
 package httpapi
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"net/http"
@@ -27,6 +12,7 @@ import (
 
 	"dramtherm/internal/sim"
 	"dramtherm/internal/sweep"
+	"dramtherm/internal/sweep/remote"
 )
 
 // Config tunes a Server. The zero value selects the defaults.
@@ -40,6 +26,12 @@ type Config struct {
 	Heartbeat time.Duration
 	// Logf sinks internal-error logs (default log.Printf).
 	Logf func(format string, v ...any)
+	// Version is reported by GET /v1/healthz (default "dev").
+	Version string
+	// ClusterStatus, when non-nil, adds its result as the "peers" field
+	// of the healthz body — cluster-mode dramthermd passes the remote
+	// backend's Status method here.
+	ClusterStatus func() any
 }
 
 // Server is the HTTP front end. It implements http.Handler.
@@ -49,6 +41,9 @@ type Server struct {
 	jobs      *sweep.Jobs
 	heartbeat time.Duration
 	logf      func(format string, v ...any)
+	version   string
+	cluster   func() any
+	started   time.Time
 
 	// base is the lifetime context of asynchronous jobs; cancelling it
 	// (server shutdown) aborts in-flight simulations.
@@ -67,16 +62,23 @@ func New(base context.Context, eng *sweep.Engine, cfg Config) *Server {
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
 	}
+	if cfg.Version == "" {
+		cfg.Version = "dev"
+	}
 	s := &Server{
 		eng:       eng,
 		mux:       http.NewServeMux(),
 		jobs:      sweep.NewJobs(sweep.JobsOptions{TTL: cfg.JobTTL, MaxJobs: cfg.MaxJobs}),
 		heartbeat: cfg.Heartbeat,
 		logf:      cfg.Logf,
+		version:   cfg.Version,
+		cluster:   cfg.ClusterStatus,
+		started:   time.Now(),
 		base:      base,
 	}
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("POST /v1/runs", s.handleSubmitRun)
+	s.mux.HandleFunc("POST /v1/exec", s.handleExec)
 	s.mux.HandleFunc("GET /v1/runs", s.handleListRuns)
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleGetRun)
 	s.mux.HandleFunc("GET /v1/runs/{id}/events", s.handleRunEvents)
@@ -154,12 +156,66 @@ func wantFlag(r *http.Request, name string) bool {
 	return v == "1" || v == "true"
 }
 
+// healthzResponse is the GET /v1/healthz body: enough for liveness
+// probes (status), operators (version, uptime, cache traffic) and the
+// cluster prober (peers, when clustered).
+type healthzResponse struct {
+	Status        string      `json:"status"`
+	Version       string      `json:"version"`
+	UptimeSeconds float64     `json:"uptime_seconds"`
+	Workers       int         `json:"workers"`
+	Jobs          int         `json:"jobs"`
+	Cache         sweep.Stats `json:"cache"`
+	Peers         any         `json:"peers,omitempty"` // []remote.PeerStatus when clustered
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status": "ok",
-		"jobs":   s.jobs.Len(),
-		"cache":  s.eng.Stats(),
-	})
+	out := healthzResponse{
+		Status:        "ok",
+		Version:       s.version,
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Workers:       s.eng.Workers(),
+		Jobs:          s.jobs.Len(),
+		Cache:         s.eng.Stats(),
+	}
+	if s.cluster != nil {
+		out.Peers = s.cluster()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleExec runs one spec synchronously and returns the full result
+// plus the cache outcome — the endpoint remote.Backend dispatches to.
+// Unlike the job endpoints it blocks for the simulation's duration;
+// cluster coordinators own the timeout via their request context.
+func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
+	var spec sweep.Spec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeClientErr(w, http.StatusBadRequest, fmt.Errorf("decoding spec: %w", err))
+		return
+	}
+	if err := s.eng.Validate(spec); err != nil {
+		writeClientErr(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := mergeDone(r.Context(), s.base)
+	defer cancel()
+	res, out, err := s.eng.RunTraced(ctx, spec)
+	if err != nil {
+		// The status tells the coordinator whether to fail over. A
+		// cancellation means this node is draining (or the caller hung
+		// up): 503, retryable elsewhere. Any other run error is the
+		// spec's own doing — a 422 is terminal, so one poisoned spec
+		// cannot eject every healthy peer in turn.
+		s.logf("httpapi: %s %s: %v", r.Method, r.URL.Path, err)
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "node draining"})
+		} else {
+			writeJSON(w, http.StatusUnprocessableEntity, map[string]string{"error": err.Error()})
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, remote.ExecResponse{Outcome: out.String(), Result: res})
 }
 
 // jobView is the wire rendering of one job. Total carries the spec

@@ -17,6 +17,7 @@ import (
 	"dramtherm/internal/core"
 	"dramtherm/internal/sim"
 	"dramtherm/internal/sweep"
+	"dramtherm/internal/sweep/remote"
 )
 
 // newTestServer backs the API with a counting fake run function so API
@@ -109,7 +110,10 @@ func pollJob(t *testing.T, baseURL, id string, pred func(jobView) bool) jobView 
 }
 
 func TestHealthz(t *testing.T) {
-	ts, _, _ := newTestServer(t, 2, 0, Config{})
+	ts, _, eng := newTestServer(t, 2, 0, Config{Version: "9.9-test"})
+	if _, err := eng.Run(context.Background(), sweep.Spec{Mix: "W1"}); err != nil {
+		t.Fatal(err)
+	}
 	resp, err := http.Get(ts.URL + "/v1/healthz")
 	if err != nil {
 		t.Fatal(err)
@@ -118,9 +122,72 @@ func TestHealthz(t *testing.T) {
 		t.Fatalf("status %d", resp.StatusCode)
 	}
 	h := decode[map[string]any](t, resp)
-	if h["status"] != "ok" {
+	if h["status"] != "ok" || h["version"] != "9.9-test" {
 		t.Fatalf("healthz = %v", h)
 	}
+	if _, ok := h["uptime_seconds"].(float64); !ok {
+		t.Fatalf("healthz lacks numeric uptime_seconds: %v", h)
+	}
+	if h["workers"].(float64) != 2 {
+		t.Fatalf("healthz workers = %v, want 2", h["workers"])
+	}
+	cache, ok := h["cache"].(map[string]any)
+	if !ok || cache["entries"].(float64) != 1 || cache["builds"].(float64) != 1 {
+		t.Fatalf("healthz cache = %v, want 1 entry / 1 build", h["cache"])
+	}
+	if _, clustered := h["peers"]; clustered {
+		t.Fatalf("unclustered healthz reports peers: %v", h)
+	}
+}
+
+// TestHealthzClustered: with a ClusterStatus hook the body additionally
+// carries the peer ring.
+func TestHealthzClustered(t *testing.T) {
+	ts, _, _ := newTestServer(t, 2, 0, Config{
+		ClusterStatus: func() any { return []map[string]any{{"id": "w1", "up": true}} },
+	})
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := decode[map[string]any](t, resp)
+	peers, ok := h["peers"].([]any)
+	if !ok || len(peers) != 1 {
+		t.Fatalf("clustered healthz peers = %v", h["peers"])
+	}
+}
+
+// TestExec: the synchronous cluster-dispatch endpoint returns the full
+// result plus the serving node's cache outcome.
+func TestExec(t *testing.T) {
+	ts, builds, _ := newTestServer(t, 2, 0, Config{})
+	resp := postJSON(t, ts.URL+"/v1/exec", sweep.Spec{Mix: "W1", Policy: "DTM-ACG"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("exec status %d", resp.StatusCode)
+	}
+	er := decode[remote.ExecResponse](t, resp)
+	if er.Outcome != "built" || er.Result.Seconds != 120 {
+		t.Fatalf("exec = %+v, want built/120s", er)
+	}
+	if len(er.Result.AMBTrace) == 0 {
+		t.Fatal("exec response dropped the traces — coordinator caches would be incomplete")
+	}
+	// The same spec again is a cache hit on this node.
+	resp = postJSON(t, ts.URL+"/v1/exec", sweep.Spec{Mix: "W1", Policy: "DTM-ACG"})
+	if er := decode[remote.ExecResponse](t, resp); er.Outcome != "hit" {
+		t.Fatalf("repeat exec outcome %q, want hit", er.Outcome)
+	}
+	if builds.Load() != 1 {
+		t.Fatalf("%d builds for two identical execs", builds.Load())
+	}
+
+	// Bad specs are the client's problem: 400, not failover bait.
+	resp = postJSON(t, ts.URL+"/v1/exec", sweep.Spec{Mix: "W1", Policy: "DTM-NOPE"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad exec status %d, want 400", resp.StatusCode)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
 }
 
 func TestRunLifecycle(t *testing.T) {

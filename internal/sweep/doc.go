@@ -1,0 +1,43 @@
+// Package sweep is the concurrent simulation-serving subsystem: it
+// turns the blocking, in-process core.System.Run call into a service
+// that many clients (experiment drivers, CLIs, the dramthermd HTTP
+// server) share.
+//
+// # Specs and keys
+//
+// A Spec names one level-2 run entirely by value — mix, policy,
+// cooling, thermal model and overrides — so it can be transported as
+// JSON and canonicalized into a cache Key. The Key includes the
+// system-configuration digest, so caches and state files from a
+// differently configured system can never satisfy a lookup. A Grid
+// expands cartesian products of spec fields into deterministic job
+// lists.
+//
+// # Cache and engine
+//
+// Cache is a sharded singleflight build cache: concurrent requests for
+// the same Key share one simulation, distinct Keys run in parallel on a
+// bounded worker pool, and completed entries persist with gob. Engine
+// layers validation, spec resolution (names → live workload mixes,
+// fresh stateful policies, cooling columns) and normalization on top,
+// and executes whole sweeps with cancellation, per-spec lifecycle
+// events (Options.OnEvent) and report-table aggregation.
+//
+// # Jobs
+//
+// Jobs is the asynchronous job registry between the engine and a front
+// end such as internal/httpapi: bounded, TTL-evicted, each job with its
+// own cancellable context and an append-only event log that any number
+// of streaming observers can follow without missing or reordering
+// events (EventsSince).
+//
+// # Cluster mode
+//
+// SetBackend reroutes cache misses through a SpecBackend instead of
+// local execution. The engine still deduplicates locally — the backend
+// sees each distinct key once — and the backend's RunInfo (its outcome
+// plus the executing peer id) flows through Event.Peer into the job
+// event log and out over SSE. The internal/sweep/remote package
+// implements the backend that fans runs out to remote dramthermd peers
+// by consistent hashing on the canonical Key.
+package sweep

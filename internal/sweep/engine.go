@@ -15,10 +15,33 @@ import (
 	"dramtherm/internal/workload"
 )
 
-// RunFunc executes one resolved level-2 run. The default backend is
-// core.System.RunCtx; tests and alternate backends (e.g. a remote
-// executor) may substitute their own via SetRunFunc.
+// RunFunc executes one resolved level-2 run. The default is
+// core.System.RunCtx; tests substitute counting fakes via SetRunFunc.
 type RunFunc func(ctx context.Context, spec core.RunSpec) (sim.MEMSpotResult, error)
+
+// RunInfo describes how a run was ultimately served: the cache outcome
+// plus, for runs dispatched through a SpecBackend, the identity of the
+// cluster member that executed it.
+type RunInfo struct {
+	// Outcome is how the serving node obtained the result. With a
+	// backend set it is the backend's outcome (a Hit here means the
+	// remote peer served its own cached entry).
+	Outcome Outcome
+	// Peer identifies who executed the run: a remote peer id, "local"
+	// for a backend's local fallback, or empty for plain local engines
+	// and for local cache hits/joins.
+	Peer string
+}
+
+// SpecBackend executes one validated spec on behalf of the engine — the
+// seam a distributed executor implements (see internal/sweep/remote).
+// The engine still deduplicates through its local cache; the backend is
+// only invoked on the leader path, once per distinct key, and its
+// RunInfo replaces the engine's own Built outcome so observers see how
+// the run was really served (built/hit/joined on which peer).
+type SpecBackend interface {
+	RunSpec(ctx context.Context, spec Spec) (sim.MEMSpotResult, RunInfo, error)
+}
 
 // Engine serves level-2 runs from a deduplicating cache over one
 // core.System. It is safe for concurrent use by any number of callers;
@@ -28,6 +51,7 @@ type Engine struct {
 	digest   string
 	cache    *Cache[sim.MEMSpotResult]
 	run      RunFunc
+	backend  SpecBackend
 	policies map[string]bool
 }
 
@@ -56,9 +80,19 @@ func (e *Engine) Workers() int { return e.cache.Workers() }
 // Stats returns run-cache traffic counters.
 func (e *Engine) Stats() Stats { return e.cache.Stats() }
 
-// SetRunFunc replaces the run backend. It must be called before the
-// engine is shared across goroutines.
+// SetRunFunc replaces the local run function. It must be called before
+// the engine is shared across goroutines.
 func (e *Engine) SetRunFunc(fn RunFunc) { e.run = fn }
+
+// SetBackend routes cache misses through b instead of local execution
+// (cluster mode). It must be called before the engine is shared across
+// goroutines. Backends that need a local fallback should capture Exec.
+func (e *Engine) SetBackend(b SpecBackend) { e.backend = b }
+
+// Key canonicalizes the spec under this engine's configuration digest —
+// the identity the run cache and the remote backend's consistent-hash
+// ring both shard on.
+func (e *Engine) Key(spec Spec) Key { return spec.Key(e.digest) }
 
 // Validate checks the spec without constructing any run state: name
 // lookups plus the limits-override shape. A Limits override must be
@@ -136,19 +170,46 @@ func (e *Engine) Run(ctx context.Context, spec Spec) (sim.MEMSpotResult, error) 
 // RunTraced is Run plus the cache Outcome: whether this call simulated,
 // hit a completed entry, or joined an identical in-flight run.
 func (e *Engine) RunTraced(ctx context.Context, spec Spec) (sim.MEMSpotResult, Outcome, error) {
+	res, info, err := e.RunDetailed(ctx, spec)
+	return res, info.Outcome, err
+}
+
+// Exec executes the spec locally, uncached: resolve then run. It is the
+// raw unit of work behind the cache — and the local-fallback hook a
+// SpecBackend uses when its peer ring is empty. Most callers want Run.
+func (e *Engine) Exec(ctx context.Context, spec Spec) (sim.MEMSpotResult, error) {
+	rs, err := e.Resolve(spec) // fresh policy for this execution
+	if err != nil {
+		return sim.MEMSpotResult{}, err
+	}
+	return e.run(ctx, rs)
+}
+
+// RunDetailed is Run plus the full RunInfo: the outcome and, in cluster
+// mode, the peer that executed the run.
+func (e *Engine) RunDetailed(ctx context.Context, spec Spec) (sim.MEMSpotResult, RunInfo, error) {
 	// Validate eagerly (without building run state) so bad specs fail
 	// fast even on the cache hit path, and so resolution inside the
 	// builder cannot fail.
 	if err := e.Validate(spec); err != nil {
-		return sim.MEMSpotResult{}, Built, err
+		return sim.MEMSpotResult{}, RunInfo{}, err
 	}
-	return e.cache.DoTraced(ctx, spec.Key(e.digest), func(ctx context.Context) (sim.MEMSpotResult, error) {
-		rs, err := e.Resolve(spec) // fresh policy for this execution
-		if err != nil {
-			return sim.MEMSpotResult{}, err
+	// The leader runs the builder synchronously inside DoTraced, so the
+	// captured backend info is safe to read whenever out == Built.
+	var remote RunInfo
+	res, out, err := e.cache.DoTraced(ctx, spec.Key(e.digest), func(ctx context.Context) (sim.MEMSpotResult, error) {
+		if e.backend == nil {
+			return e.Exec(ctx, spec)
 		}
-		return e.run(ctx, rs)
+		r, info, err := e.backend.RunSpec(ctx, spec)
+		remote = info
+		return r, err
 	})
+	info := RunInfo{Outcome: out}
+	if e.backend != nil && out == Built {
+		info = remote
+	}
+	return res, info, err
 }
 
 // RunObserved executes the spec like Run while reporting its lifecycle
@@ -159,12 +220,12 @@ func (e *Engine) RunObserved(ctx context.Context, spec Spec, onEvent func(Event)
 		return e.Run(ctx, spec)
 	}
 	onEvent(Event{Kind: EventStarted, Spec: spec, Total: 1})
-	res, out, err := e.RunTraced(ctx, spec)
+	res, info, err := e.RunDetailed(ctx, spec)
 	if err != nil {
-		onEvent(Event{Kind: EventError, Spec: spec, Done: 1, Total: 1, Outcome: out, Err: err})
+		onEvent(Event{Kind: EventError, Spec: spec, Done: 1, Total: 1, Outcome: info.Outcome, Peer: info.Peer, Err: err})
 		return res, err
 	}
-	onEvent(Event{Kind: EventFinished, Spec: spec, Done: 1, Total: 1, Outcome: out, Seconds: res.Seconds})
+	onEvent(Event{Kind: EventFinished, Spec: spec, Done: 1, Total: 1, Outcome: info.Outcome, Peer: info.Peer, Seconds: res.Seconds})
 	return res, nil
 }
 

@@ -1,0 +1,38 @@
+package sweep_test
+
+import (
+	"fmt"
+
+	"dramtherm/internal/sweep"
+)
+
+// A Grid expands cartesian products of spec fields into a deterministic
+// job list — mixes vary slowest — ready for Engine.Sweep or the
+// POST /v1/sweeps body.
+func ExampleGrid_Expand() {
+	grid := sweep.Grid{
+		Mixes:    []string{"W1", "W2"},
+		Policies: []string{"DTM-TS", "DTM-BW"},
+	}
+	specs := grid.Expand()
+	fmt.Println(len(specs), "specs:")
+	for _, s := range specs {
+		fmt.Println(s) // unset fields print their paper defaults
+	}
+	// Output:
+	// 4 specs:
+	// W1/DTM-TS/AOHS_1.5/isolated
+	// W1/DTM-BW/AOHS_1.5/isolated
+	// W2/DTM-TS/AOHS_1.5/isolated
+	// W2/DTM-BW/AOHS_1.5/isolated
+}
+
+// Unset grid dimensions collapse to the paper default for that field,
+// so a mixes-only grid is the common "compare mixes under the default
+// policy" sweep.
+func ExampleGrid_Expand_defaults() {
+	specs := sweep.Grid{Mixes: []string{"W12"}}.Expand()
+	fmt.Println(specs[0])
+	// Output:
+	// W12/No-limit/AOHS_1.5/isolated
+}

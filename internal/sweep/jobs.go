@@ -45,6 +45,7 @@ type JobEvent struct {
 	Done    int     `json:"done,omitempty"`
 	Total   int     `json:"total,omitempty"`
 	Outcome string  `json:"outcome,omitempty"` // "built", "hit", "joined"
+	Peer    string  `json:"peer,omitempty"`    // executing cluster member, if any
 	Seconds float64 `json:"seconds,omitempty"`
 	Error   string  `json:"error,omitempty"`
 }
@@ -357,6 +358,7 @@ func JobEventFrom(ev Event) JobEvent {
 		Index:   ev.Index,
 		Done:    ev.Done,
 		Total:   ev.Total,
+		Peer:    ev.Peer,
 		Seconds: ev.Seconds,
 	}
 	if ev.Kind != EventStarted {

@@ -1,0 +1,34 @@
+// Package remote fans simulation runs out to a cluster of dramthermd
+// peers — the distributed backend behind a sweep.Engine.
+//
+// # Routing
+//
+// Backend implements sweep.SpecBackend. Each spec is canonicalized into
+// its cache Key (Config.Key, normally Engine.Key) and routed by
+// consistent hashing: every peer contributes Vnodes points to a hash
+// ring, and the spec goes to the first peer clockwise of the key's
+// hash. The same key therefore always lands on the same peer while the
+// membership is stable, so each peer's run cache (and level-1 trace
+// store) stays hot for its shard of the grid — repeated or overlapping
+// sweeps hit warm caches instead of resimulating.
+//
+// # Health and failover
+//
+// Peers start admitted. A failed request or probe ejects a peer from
+// the ring; a periodic /v1/healthz probe readmits it when it answers
+// again, and request routing retries it half-open once its backoff
+// expires. A run whose peer is down or errors fails over to the next
+// ring member, and when no peer is left, executes locally via
+// Config.Local — a cluster degrades to a slower single node, never to
+// an outage. Caller cancellation and 4xx rejections are terminal, not
+// failover triggers: no other peer would do better.
+//
+// # Wire protocol
+//
+// Dispatch is one synchronous POST /v1/exec per run, bounded by a
+// per-peer request pool: the body is the sweep.Spec JSON and the reply
+// an ExecResponse carrying the full result plus the peer's own cache
+// outcome. That outcome and the peer id flow back through
+// sweep.RunInfo into Event.Peer, the job event log, and the SSE
+// stream, so a cluster-wide sweep is observable per spec.
+package remote

@@ -1,0 +1,86 @@
+package remote_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"dramtherm/internal/sim"
+	"dramtherm/internal/sweep"
+	"dramtherm/internal/sweep/remote"
+)
+
+// A Backend fans specs out to dramthermd peers and reports which peer
+// served each run with what cache outcome. Here the single "peer" is a
+// stub /v1/exec handler, so the output is deterministic; in production
+// the peers are real dramthermd instances and Config.Key/Config.Local
+// come from the coordinating engine (Engine.Key, Engine.Exec).
+func ExampleBackend() {
+	worker := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(remote.ExecResponse{
+			Outcome: "hit",
+			Result:  sim.MEMSpotResult{Seconds: 412},
+		})
+	}))
+	defer worker.Close()
+
+	backend, err := remote.New(remote.Config{
+		Peers:      []remote.Peer{{ID: "worker-1", URL: worker.URL}},
+		Key:        func(s sweep.Spec) sweep.Key { return s.Key("example-config") },
+		ProbeEvery: -1, // no background prober in this example
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer backend.Close()
+
+	spec := sweep.Spec{Mix: "W1", Policy: "DTM-ACG"}
+	fmt.Println("owner:", backend.OwnerOf(spec))
+	res, info, err := backend.RunSpec(context.Background(), spec)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("served by %s (%s): %.0f s\n", info.Peer, info.Outcome, res.Seconds)
+	// Output:
+	// owner: worker-1
+	// served by worker-1 (hit): 412 s
+}
+
+// When every peer is down the backend degrades to local execution
+// rather than failing the sweep: the Local hook (normally Engine.Exec)
+// runs the spec in-process and the run is attributed to "local".
+func ExampleBackend_failover() {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close() // the only peer is unreachable
+
+	backend, err := remote.New(remote.Config{
+		Peers: []remote.Peer{{ID: "worker-1", URL: dead.URL}},
+		Key:   func(s sweep.Spec) sweep.Key { return s.Key("example-config") },
+		Local: func(ctx context.Context, s sweep.Spec) (sim.MEMSpotResult, error) {
+			return sim.MEMSpotResult{Seconds: 412}, nil
+		},
+		ProbeEvery: -1,
+		Backoff:    time.Minute,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer backend.Close()
+
+	res, info, err := backend.RunSpec(context.Background(), sweep.Spec{Mix: "W1"})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("served by %s (%s): %.0f s\n", info.Peer, info.Outcome, res.Seconds)
+	fmt.Println("worker-1 up:", backend.Status()[0].Up)
+	// Output:
+	// served by local (built): 412 s
+	// worker-1 up: false
+}

@@ -1,0 +1,469 @@
+package remote
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dramtherm/internal/sim"
+	"dramtherm/internal/sweep"
+)
+
+// ExecPath is the synchronous execution endpoint the backend dispatches
+// to on each peer, served by internal/httpapi: POST a sweep.Spec, get an
+// ExecResponse back.
+const ExecPath = "/v1/exec"
+
+// HealthPath is the endpoint the prober checks on each peer.
+const HealthPath = "/v1/healthz"
+
+// LocalPeer is the RunInfo.Peer value reported when the backend fell
+// back to local execution because no peer could serve the run.
+const LocalPeer = "local"
+
+// ExecResponse is the POST /v1/exec reply: the full simulation result
+// (traces included, so the coordinator's cache entry is complete) plus
+// how the serving node obtained it ("built", "hit" or "joined").
+type ExecResponse struct {
+	Outcome string            `json:"outcome"`
+	Result  sim.MEMSpotResult `json:"result"`
+}
+
+// Peer names one dramthermd instance runs can be dispatched to.
+type Peer struct {
+	// ID identifies the peer in events and status reports; when empty it
+	// is derived from the URL.
+	ID string
+	// URL is the peer's base URL, e.g. "http://worker-1:8080".
+	URL string
+}
+
+// Config tunes a Backend. Key and at least one of Peers/Local are
+// required; every other zero value selects a default.
+type Config struct {
+	// Peers is the initial ring membership. Peers start admitted and are
+	// ejected on their first failure (or failed probe).
+	Peers []Peer
+	// Key canonicalizes a spec for consistent hashing — pass the
+	// engine's Key method so the ring shards on the same identity the
+	// run caches are keyed by.
+	Key func(sweep.Spec) sweep.Key
+	// Local executes a spec in-process when no peer can: the ring is
+	// empty or every candidate failed. Pass the engine's Exec method.
+	// When nil, exhausting the ring is an error.
+	Local func(ctx context.Context, spec sweep.Spec) (sim.MEMSpotResult, error)
+	// MaxPerPeer bounds concurrent in-flight requests per peer
+	// (default 4); excess dispatches to the same peer queue.
+	MaxPerPeer int
+	// Vnodes is the number of ring points per peer (default 64).
+	Vnodes int
+	// ProbeEvery is the health-probe period (default 5s; < 0 disables
+	// the background prober — Probe can still be called directly).
+	ProbeEvery time.Duration
+	// ProbeTimeout bounds one health probe (default 2s).
+	ProbeTimeout time.Duration
+	// Backoff is how long an ejected peer stays out of the ring before
+	// request routing retries it; a successful probe readmits it sooner
+	// (default 15s).
+	Backoff time.Duration
+	// Client overrides the HTTP client (default: a client whose
+	// transport keeps MaxPerPeer idle connections per peer).
+	Client *http.Client
+	// Logf sinks ejection/readmission logs (default: silent).
+	Logf func(format string, v ...any)
+	// Now overrides the clock, for tests.
+	Now func() time.Time
+}
+
+// Backend distributes runs across dramthermd peers by consistent
+// hashing on the canonical spec key, so each peer's run cache stays hot
+// for its shard of the grid. It implements sweep.SpecBackend: install it
+// with Engine.SetBackend. Peers are health-checked (periodic probes,
+// eject on failure, readmit on recovery or backoff expiry) and a run
+// whose peer is down or errors fails over around the ring, landing on
+// local execution when no peer is left.
+type Backend struct {
+	cfg    Config
+	client *http.Client
+	now    func() time.Time
+	logf   func(format string, v ...any)
+	peers  []*peer
+
+	mu   sync.RWMutex // guards peer state transitions and the ring pointer
+	ring *ring
+	down atomic.Int32 // ejected-peer count; lets the hot path skip readmitExpired
+
+	stop chan struct{}
+	once sync.Once
+	wg   sync.WaitGroup
+}
+
+// peer is one ring member plus its health state and traffic counters.
+type peer struct {
+	id  string
+	url string
+	sem chan struct{} // bounded request pool
+
+	requests atomic.Int64
+	failures atomic.Int64
+
+	// Guarded by Backend.mu.
+	up        bool
+	downSince time.Time
+	downUntil time.Time
+	lastErr   string
+}
+
+// New builds a backend over the configured peers and, unless probing is
+// disabled, starts the background health prober. Call Close when done.
+func New(cfg Config) (*Backend, error) {
+	if cfg.Key == nil {
+		return nil, errors.New("remote: Config.Key is required")
+	}
+	if len(cfg.Peers) == 0 && cfg.Local == nil {
+		return nil, errors.New("remote: need at least one peer or a local fallback")
+	}
+	if cfg.MaxPerPeer <= 0 {
+		cfg.MaxPerPeer = 4
+	}
+	if cfg.Vnodes <= 0 {
+		cfg.Vnodes = 64
+	}
+	if cfg.ProbeEvery == 0 {
+		cfg.ProbeEvery = 5 * time.Second
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = 2 * time.Second
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 15 * time.Second
+	}
+	b := &Backend{
+		cfg:    cfg,
+		client: cfg.Client,
+		now:    cfg.Now,
+		logf:   cfg.Logf,
+		stop:   make(chan struct{}),
+	}
+	if b.client == nil {
+		b.client = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: cfg.MaxPerPeer}}
+	}
+	if b.now == nil {
+		b.now = time.Now
+	}
+	if b.logf == nil {
+		b.logf = func(string, ...any) {}
+	}
+	seen := make(map[string]bool, len(cfg.Peers))
+	for _, pc := range cfg.Peers {
+		url := strings.TrimRight(pc.URL, "/")
+		if url == "" {
+			return nil, fmt.Errorf("remote: peer %q has no URL", pc.ID)
+		}
+		id := pc.ID
+		if id == "" {
+			id = strings.TrimPrefix(strings.TrimPrefix(url, "http://"), "https://")
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("remote: duplicate peer id %q", id)
+		}
+		seen[id] = true
+		b.peers = append(b.peers, &peer{
+			id: id, url: url, up: true,
+			sem: make(chan struct{}, cfg.MaxPerPeer),
+		})
+	}
+	b.rebuildLocked() // no lock needed yet: b is not shared
+	if cfg.ProbeEvery > 0 && len(b.peers) > 0 {
+		b.wg.Add(1)
+		go b.probeLoop()
+	}
+	return b, nil
+}
+
+// Close stops the background prober. In-flight dispatches are not
+// interrupted; cancel their contexts for that.
+func (b *Backend) Close() {
+	b.once.Do(func() { close(b.stop) })
+	b.wg.Wait()
+}
+
+func (b *Backend) probeLoop() {
+	defer b.wg.Done()
+	t := time.NewTicker(b.cfg.ProbeEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			b.Probe(context.Background())
+		case <-b.stop:
+			return
+		}
+	}
+}
+
+// Probe health-checks every peer once: GET /v1/healthz, ejecting peers
+// that fail and readmitting peers that answer. The background prober
+// calls this periodically; tests call it directly.
+func (b *Backend) Probe(ctx context.Context) {
+	for _, p := range b.peers {
+		pctx, cancel := context.WithTimeout(ctx, b.cfg.ProbeTimeout)
+		req, err := http.NewRequestWithContext(pctx, http.MethodGet, p.url+HealthPath, nil)
+		if err == nil {
+			var resp *http.Response
+			if resp, err = b.client.Do(req); err == nil {
+				io.Copy(io.Discard, io.LimitReader(resp.Body, 4096)) //nolint:errcheck
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					err = fmt.Errorf("probe status %s", resp.Status)
+				}
+			}
+		}
+		cancel()
+		if err != nil {
+			b.eject(p, err)
+		} else {
+			b.readmit(p)
+		}
+	}
+}
+
+// peerError marks a failure attributable to the peer (unreachable, or a
+// 5xx) — the retryable class that triggers ejection and failover.
+// Client-side errors (a 4xx: the spec itself is bad) and caller
+// cancellation are terminal instead: no other peer would do better.
+type peerError struct {
+	id  string
+	err error
+}
+
+func (e *peerError) Error() string { return fmt.Sprintf("peer %s: %v", e.id, e.err) }
+func (e *peerError) Unwrap() error { return e.err }
+
+// RunSpec implements sweep.SpecBackend: it dispatches the spec to the
+// ring member owning its key, fails over around the ring on peer
+// errors, and falls back to Config.Local when no peer can serve it.
+func (b *Backend) RunSpec(ctx context.Context, spec sweep.Spec) (sim.MEMSpotResult, sweep.RunInfo, error) {
+	b.readmitExpired()
+	key := string(b.cfg.Key(spec))
+	b.mu.RLock()
+	candidates := b.ring.candidates(key)
+	b.mu.RUnlock()
+	var lastErr error
+	for _, idx := range candidates {
+		p := b.peers[idx]
+		res, info, err := b.dispatch(ctx, p, spec)
+		if err == nil {
+			return res, info, nil
+		}
+		var pe *peerError
+		if !errors.As(err, &pe) {
+			return sim.MEMSpotResult{}, sweep.RunInfo{}, err
+		}
+		b.eject(p, pe.err)
+		lastErr = pe
+	}
+	if b.cfg.Local == nil {
+		if lastErr == nil {
+			lastErr = errors.New("no live peers")
+		}
+		return sim.MEMSpotResult{}, sweep.RunInfo{}, fmt.Errorf("remote: %s unservable: %w", spec, lastErr)
+	}
+	res, err := b.cfg.Local(ctx, spec)
+	return res, sweep.RunInfo{Outcome: sweep.Built, Peer: LocalPeer}, err
+}
+
+// dispatch executes spec on p, bounded by the peer's request pool.
+func (b *Backend) dispatch(ctx context.Context, p *peer, spec sweep.Spec) (sim.MEMSpotResult, sweep.RunInfo, error) {
+	var zero sim.MEMSpotResult
+	select {
+	case p.sem <- struct{}{}:
+		defer func() { <-p.sem }()
+	case <-ctx.Done():
+		return zero, sweep.RunInfo{}, ctx.Err()
+	}
+	p.requests.Add(1)
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return zero, sweep.RunInfo{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.url+ExecPath, bytes.NewReader(body))
+	if err != nil {
+		return zero, sweep.RunInfo{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := b.client.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			// The caller gave up; that is not the peer's fault.
+			return zero, sweep.RunInfo{}, ctx.Err()
+		}
+		return zero, sweep.RunInfo{}, &peerError{p.id, err}
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		var er ExecResponse
+		if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+			return zero, sweep.RunInfo{}, &peerError{p.id, fmt.Errorf("decoding exec response: %w", err)}
+		}
+		return er.Result, sweep.RunInfo{Outcome: parseOutcome(er.Outcome), Peer: p.id}, nil
+	case resp.StatusCode >= 400 && resp.StatusCode < 500:
+		// 4xx is terminal: the spec is invalid (400) or its run fails
+		// deterministically (422) — no other peer would do better, and
+		// the peer itself is healthy.
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e) //nolint:errcheck // fall back to the status line
+		if e.Error == "" {
+			e.Error = resp.Status
+		}
+		if resp.StatusCode == http.StatusUnprocessableEntity {
+			return zero, sweep.RunInfo{}, fmt.Errorf("remote: run failed on peer %s: %s", p.id, e.Error)
+		}
+		return zero, sweep.RunInfo{}, fmt.Errorf("remote: peer %s rejected spec: %s", p.id, e.Error)
+	default:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096)) //nolint:errcheck
+		return zero, sweep.RunInfo{}, &peerError{p.id, fmt.Errorf("status %s", resp.Status)}
+	}
+}
+
+// parseOutcome maps the wire outcome back to the sweep enum; anything
+// unrecognized counts as a fresh build.
+func parseOutcome(s string) sweep.Outcome {
+	switch s {
+	case sweep.Hit.String():
+		return sweep.Hit
+	case sweep.Joined.String():
+		return sweep.Joined
+	default:
+		return sweep.Built
+	}
+}
+
+// eject takes p out of the ring until a probe succeeds or its backoff
+// expires. Repeated failures while down push the backoff forward.
+func (b *Backend) eject(p *peer, cause error) {
+	p.failures.Add(1)
+	now := b.now()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	p.lastErr = cause.Error()
+	p.downUntil = now.Add(b.cfg.Backoff)
+	if p.up {
+		p.up = false
+		p.downSince = now
+		b.down.Add(1)
+		b.rebuildLocked()
+		b.logf("remote: ejecting %s: %v", p.id, cause)
+	}
+}
+
+// readmit puts p back into the ring (a probe answered).
+func (b *Backend) readmit(p *peer) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !p.up {
+		p.up = true
+		p.lastErr = ""
+		b.down.Add(-1)
+		b.rebuildLocked()
+		b.logf("remote: readmitting %s", p.id)
+	}
+}
+
+// readmitExpired returns ejected peers whose backoff has elapsed to the
+// ring, so request routing retries them (half-open) even when probing
+// is disabled; a failure ejects them again.
+func (b *Backend) readmitExpired() {
+	if b.down.Load() == 0 {
+		return // all peers admitted: stay off the write lock
+	}
+	now := b.now()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	changed := false
+	for _, p := range b.peers {
+		if !p.up && !now.Before(p.downUntil) {
+			p.up = true
+			b.down.Add(-1)
+			changed = true
+			b.logf("remote: retrying %s after backoff", p.id)
+		}
+	}
+	if changed {
+		b.rebuildLocked()
+	}
+}
+
+// rebuildLocked recomputes the ring from the admitted peers. Callers
+// hold b.mu (or exclusive access during construction).
+func (b *Backend) rebuildLocked() {
+	ids := make([]string, len(b.peers))
+	var members []int
+	for i, p := range b.peers {
+		ids[i] = p.id
+		if p.up {
+			members = append(members, i)
+		}
+	}
+	b.ring = buildRing(ids, members, b.cfg.Vnodes)
+}
+
+// OwnerOf reports the id of the ring member spec currently routes to —
+// the first failover candidate — or "" when the ring is empty. It is a
+// routing probe for observability and tests; membership changes can
+// reroute the spec at any time.
+func (b *Backend) OwnerOf(spec sweep.Spec) string {
+	key := string(b.cfg.Key(spec))
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	c := b.ring.candidates(key)
+	if len(c) == 0 {
+		return ""
+	}
+	return b.peers[c[0]].id
+}
+
+// PeerStatus is one peer's health and traffic snapshot, reported by
+// Status and surfaced in clustered healthz bodies.
+type PeerStatus struct {
+	ID        string     `json:"id"`
+	URL       string     `json:"url"`
+	Up        bool       `json:"up"`
+	Requests  int64      `json:"requests"`
+	Failures  int64      `json:"failures"`
+	LastError string     `json:"last_error,omitempty"`
+	DownSince *time.Time `json:"down_since,omitempty"`
+}
+
+// Status snapshots every peer in configuration order.
+func (b *Backend) Status() []PeerStatus {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]PeerStatus, len(b.peers))
+	for i, p := range b.peers {
+		out[i] = PeerStatus{
+			ID:        p.id,
+			URL:       p.url,
+			Up:        p.up,
+			Requests:  p.requests.Load(),
+			Failures:  p.failures.Load(),
+			LastError: p.lastErr,
+		}
+		if !p.up {
+			t := p.downSince
+			out[i].DownSince = &t
+		}
+	}
+	return out
+}

@@ -1,0 +1,176 @@
+package remote
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"dramtherm/internal/sim"
+	"dramtherm/internal/sweep"
+)
+
+func testIDs(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("peer-%d", i)
+	}
+	return ids
+}
+
+func allMembers(n int) []int {
+	m := make([]int, n)
+	for i := range m {
+		m[i] = i
+	}
+	return m
+}
+
+// TestRingDeterministic: the same membership must produce the same
+// routing, across rebuilds and across processes (FNV, not maphash).
+func TestRingDeterministic(t *testing.T) {
+	ids := testIDs(4)
+	a := buildRing(ids, allMembers(4), 64)
+	b := buildRing(ids, allMembers(4), 64)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("spec-%d", i)
+		ca, cb := a.candidates(key), b.candidates(key)
+		if fmt.Sprint(ca) != fmt.Sprint(cb) {
+			t.Fatalf("key %q: rebuilt ring routes %v, want %v", key, cb, ca)
+		}
+	}
+}
+
+// TestRingCandidates: every lookup yields all members, each exactly
+// once, owner first.
+func TestRingCandidates(t *testing.T) {
+	ids := testIDs(5)
+	r := buildRing(ids, allMembers(5), 32)
+	for i := 0; i < 50; i++ {
+		c := r.candidates(fmt.Sprintf("key-%d", i))
+		if len(c) != 5 {
+			t.Fatalf("key %d: %d candidates, want 5", i, len(c))
+		}
+		seen := map[int]bool{}
+		for _, p := range c {
+			if seen[p] {
+				t.Fatalf("key %d: duplicate candidate %d in %v", i, p, c)
+			}
+			seen[p] = true
+		}
+	}
+	if got := (&ring{}).candidates("x"); got != nil {
+		t.Fatalf("empty ring returned candidates %v", got)
+	}
+}
+
+// TestRingDistribution: with enough vnodes no peer should own a wildly
+// disproportionate share of keys.
+func TestRingDistribution(t *testing.T) {
+	const peers, keys = 4, 4000
+	r := buildRing(testIDs(peers), allMembers(peers), 64)
+	counts := make([]int, peers)
+	for i := 0; i < keys; i++ {
+		counts[r.candidates(fmt.Sprintf("W%d|policy-%d", i%12, i))[0]]++
+	}
+	for p, n := range counts {
+		// Fair share is 1000; accept a generous 3x spread either way.
+		if n < keys/peers/3 || n > keys*3/peers {
+			t.Fatalf("peer %d owns %d of %d keys (distribution %v)", p, n, keys, counts)
+		}
+	}
+}
+
+// TestRingStabilityUnderEjection: ejecting one member must not reroute
+// keys owned by the survivors — that is the point of consistent hashing
+// (the survivors' run caches stay hot).
+func TestRingStabilityUnderEjection(t *testing.T) {
+	ids := testIDs(4)
+	full := buildRing(ids, allMembers(4), 64)
+	without3 := buildRing(ids, []int{0, 1, 2}, 64)
+	moved := 0
+	const keys = 2000
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		before := full.candidates(key)[0]
+		after := without3.candidates(key)[0]
+		if before != 3 && before != after {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d of %d surviving-peer keys rerouted after ejecting peer 3", moved, keys)
+	}
+}
+
+// TestBackendChurnRace hammers routing, ejection, readmission, probing
+// and status snapshots concurrently; run with -race. Peers point at
+// dead addresses, so every dispatch also exercises the failure path.
+func TestBackendChurnRace(t *testing.T) {
+	peers := make([]Peer, 6)
+	for i := range peers {
+		// Reserved TEST-NET-1 addresses: dial fails fast or times out.
+		peers[i] = Peer{ID: fmt.Sprintf("p%d", i), URL: fmt.Sprintf("http://192.0.2.%d:9", i+1)}
+	}
+	local := func(ctx context.Context, spec sweep.Spec) (sim.MEMSpotResult, error) {
+		return sim.MEMSpotResult{Seconds: 1}, nil
+	}
+	b, err := New(Config{
+		Peers: peers, Local: local,
+		Key:        func(s sweep.Spec) sweep.Key { return sweep.Key(s.String()) },
+		ProbeEvery: -1,
+		Backoff:    time.Microsecond, // immediate half-open readmission → constant ring churn
+		Client:     &http.Client{Timeout: 10 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ctx.Err() == nil && i < 50; i++ {
+				spec := sweep.Spec{Mix: fmt.Sprintf("W%d", (g*50+i)%12+1)}
+				res, info, err := b.RunSpec(ctx, spec)
+				if ctx.Err() != nil {
+					return
+				}
+				if err != nil {
+					t.Errorf("RunSpec: %v", err)
+					return
+				}
+				if info.Peer != LocalPeer || res.Seconds != 1 {
+					t.Errorf("dead-peer run served by %q", info.Peer)
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ctx.Err() == nil && i < 200; i++ {
+				p := b.peers[(g*7+i)%len(b.peers)]
+				switch i % 3 {
+				case 0:
+					b.eject(p, fmt.Errorf("churn"))
+				case 1:
+					b.readmit(p)
+				default:
+					b.readmitExpired()
+				}
+				b.Status()
+				b.OwnerOf(sweep.Spec{Mix: "W1"})
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,14 +1,3 @@
-// Package sweep is the concurrent simulation-serving subsystem: it turns
-// the blocking, in-process core.System.Run call into a service that many
-// clients (experiment drivers, CLIs, the dramthermd HTTP server) share.
-// A Spec names one level-2 run by value — mix, policy, cooling, thermal
-// model and overrides — so it can be canonicalized into a cache Key,
-// transported as JSON, and deduplicated: concurrent requests for the same
-// Key share one simulation, distinct Keys run in parallel on a bounded
-// worker pool. A Grid expands cartesian products of spec fields into job
-// lists, and the Engine executes them with cancellation, per-job progress
-// and report-table aggregation. Both the run cache and the shared level-1
-// trace store persist with gob, so repeated sweeps are near-instant.
 package sweep
 
 import (

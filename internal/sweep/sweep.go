@@ -42,8 +42,13 @@ type Event struct {
 	Total int // sweep size; 1 for single runs
 	// Outcome tells how the run was served (finish events): Built means
 	// this call simulated, Hit a completed cache entry, Joined an
-	// identical in-flight run.
+	// identical in-flight run. In cluster mode the outcome is the
+	// executing peer's (a Hit means its cache was warm for the shard).
 	Outcome Outcome
+	// Peer identifies the cluster member that executed the run: a peer
+	// id, "local" for the remote backend's local fallback, or empty on
+	// single-node engines and local cache hits/joins.
+	Peer    string
 	Seconds float64 // simulated runtime, on EventFinished
 	Err     error   // non-nil on EventError
 }
@@ -103,7 +108,7 @@ func (e *Engine) Sweep(ctx context.Context, specs []Spec, opts Options) (*Result
 			if opts.OnEvent != nil {
 				opts.OnEvent(Event{Kind: EventStarted, Index: i, Spec: specs[i], Total: len(specs)})
 			}
-			r, out, err := e.RunTraced(ctx, specs[i])
+			r, info, err := e.RunDetailed(ctx, specs[i])
 			if err == nil {
 				res.Results[i] = r
 				if opts.Normalize {
@@ -123,10 +128,10 @@ func (e *Engine) Sweep(ctx context.Context, specs []Spec, opts Options) (*Result
 			// job event log feeding SSE) see Done counters in order.
 			if opts.OnEvent != nil {
 				ev := Event{Kind: EventFinished, Index: i, Spec: specs[i],
-					Done: n, Total: len(specs), Outcome: out, Seconds: r.Seconds}
+					Done: n, Total: len(specs), Outcome: info.Outcome, Peer: info.Peer, Seconds: r.Seconds}
 				if err != nil {
 					ev = Event{Kind: EventError, Index: i, Spec: specs[i],
-						Done: n, Total: len(specs), Outcome: out, Err: err}
+						Done: n, Total: len(specs), Outcome: info.Outcome, Peer: info.Peer, Err: err}
 				}
 				opts.OnEvent(ev)
 			}
