@@ -17,13 +17,18 @@
 // listed dramthermd workers by consistent hashing on the canonical spec
 // key (each worker's cache stays hot for its shard), dead peers are
 // ejected by health probes and failed runs retry on the next ring member,
-// falling back to local execution when every peer is down. Any node can
-// be a coordinator; workers need no flags at all. See docs/ARCHITECTURE.md.
+// falling back to local execution when every peer is down. Sweeps are
+// dispatched in batches by default — each peer receives its entire shard
+// of the grid in one /v1/exec/batch request and streams per-spec
+// outcomes back — so a big grid costs one round trip per peer, not per
+// spec; -batch=false reverts to one /v1/exec per spec. Any node can be a
+// coordinator; workers need no flags at all. See docs/ARCHITECTURE.md.
 //
 // Endpoints:
 //
 //	GET    /v1/healthz           version, uptime, run-cache statistics, peer ring
 //	POST   /v1/exec              synchronous single-run execution (cluster dispatch)
+//	POST   /v1/exec/batch        shard execution: specs in, streamed NDJSON outcomes out
 //	POST   /v1/runs              async submit: {"mix":"W1","policy":"DTM-ACG"} → {"id":"run-1"}
 //	GET    /v1/runs              job listing (?status=running, ?offset=, ?limit=)
 //	GET    /v1/runs/{id}         job status/result (?traces=1 for temperature traces)
@@ -59,7 +64,7 @@ import (
 )
 
 // version is reported by GET /v1/healthz.
-const version = "0.3.0"
+const version = "0.4.0"
 
 // parsePeers expands the -peers flag: either a comma-separated list of
 // entries or @path naming a file with one entry per line (blank lines
@@ -109,6 +114,7 @@ func main() {
 		peers    = flag.String("peers", "", "cluster mode: comma-separated peer URLs (optionally id=url), or @file with one per line")
 		probe    = flag.Duration("peer-probe", 5*time.Second, "peer health-probe period (<=0 disables active probing)")
 		perPeer  = flag.Int("peer-conns", 4, "max concurrent requests per peer")
+		batch    = flag.Bool("batch", true, "with -peers: dispatch each peer its whole sweep shard in one /v1/exec/batch request (false = one /v1/exec per spec)")
 	)
 	flag.Parse()
 
@@ -170,9 +176,13 @@ func main() {
 			log.Fatalf("-peers: %v", err)
 		}
 		defer backend.Close()
-		eng.SetBackend(backend)
+		if *batch {
+			eng.SetBatchBackend(backend)
+		} else {
+			eng.SetBackend(backend)
+		}
 		apiCfg.ClusterStatus = func() any { return backend.Status() }
-		log.Printf("cluster mode: coordinating %d peer(s)", len(peerList))
+		log.Printf("cluster mode: coordinating %d peer(s) (batch=%v)", len(peerList), *batch)
 	}
 
 	api := httpapi.New(ctx, eng, apiCfg)

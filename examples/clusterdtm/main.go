@@ -3,16 +3,21 @@
 // coordinator whose engine fans runs out to them through the
 // consistent-hashing remote backend, sweeps a mix×policy grid across
 // the cluster, and asserts the aggregated report table is byte-identical
-// to a plain single-node sweep. It then repeats the sweep on a fresh
-// cluster and kills one worker mid-sweep, exercising the failover path
-// (the dead peer's shard retries on the surviving worker or locally) —
-// and asserts the table still comes out byte-identical.
+// to a plain single-node sweep. In the default batched mode it also
+// counts the cluster's HTTP traffic and asserts the whole sweep cost one
+// /v1/exec/batch request per live peer — not one request per spec. It
+// then repeats the sweep on a fresh cluster and kills one worker
+// mid-sweep, exercising the failover path (the dead peer's
+// unacknowledged shard re-plans onto the survivor or runs locally) — and
+// asserts the table still comes out byte-identical.
 //
 // Usage:
 //
 //	go run ./examples/clusterdtm
+//	go run ./examples/clusterdtm -batch=false         # legacy spec-at-a-time dispatch
 //	go run ./examples/clusterdtm -mixes W1,W2 -policies DTM-TS,DTM-BW
-//	go run ./examples/clusterdtm -instrscale 0.02   # CI-sized workload
+//	go run ./examples/clusterdtm -instrscale 0.02     # CI-sized workload
+//	go run ./examples/clusterdtm -table-out /tmp/t.txt  # dump the table for diffing
 package main
 
 import (
@@ -20,9 +25,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"dramtherm/internal/core"
 	"dramtherm/internal/fbconfig"
@@ -36,6 +44,8 @@ var (
 	policies = flag.String("policies", "DTM-TS,DTM-BW,DTM-ACG,DTM-CDVFS", "comma-separated DTM policies")
 	full     = flag.Bool("full", false, "full-scale batches (default is a fast demo scale)")
 	scale    = flag.Float64("instrscale", 0, "override the application length scale factor")
+	batch    = flag.Bool("batch", true, "dispatch whole shards per peer over /v1/exec/batch (false = one /v1/exec per spec)")
+	tableOut = flag.String("table-out", "", "also write the cluster sweep's report table to this file")
 )
 
 // newEngine builds a demo-scale engine. Every node of the cluster must
@@ -54,21 +64,35 @@ func newEngine() *sweep.Engine {
 	return sweep.NewEngine(core.NewSystem(cfg), 0)
 }
 
-// worker is one embedded dramthermd: engine + wire layer + listener.
+// worker is one embedded dramthermd: engine + wire layer + listener,
+// with per-endpoint request counters so the demo can prove how many
+// round trips a sweep cost.
 type worker struct {
-	ts   *httptest.Server
-	api  *httpapi.Server
-	once sync.Once
+	ts      *httptest.Server
+	api     *httpapi.Server
+	execs   atomic.Int64 // POST /v1/exec (spec-at-a-time dispatch)
+	batches atomic.Int64 // POST /v1/exec/batch (one whole shard)
+	once    sync.Once
 }
 
 func startWorker() *worker {
-	api := httpapi.New(context.Background(), newEngine(), httpapi.Config{})
-	return &worker{ts: httptest.NewServer(api), api: api}
+	w := &worker{api: httpapi.New(context.Background(), newEngine(), httpapi.Config{})}
+	w.ts = httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case remote.ExecPath:
+			w.execs.Add(1)
+		case remote.BatchPath:
+			w.batches.Add(1)
+		}
+		w.api.ServeHTTP(rw, r)
+	}))
+	return w
 }
 
-// kill tears the worker down hard: in-flight exec requests lose their
-// connections (their simulations are cancelled server-side) and later
-// dispatches are refused — exactly what a crashed peer looks like.
+// kill tears the worker down hard: in-flight exec requests and batch
+// streams lose their connections (their simulations are cancelled
+// server-side) and later dispatches are refused — exactly what a crashed
+// peer looks like.
 func (w *worker) kill() {
 	w.once.Do(func() {
 		w.ts.CloseClientConnections()
@@ -80,8 +104,9 @@ func (w *worker) kill() {
 // clusterSweep runs specs through a fresh two-worker cluster. When
 // killVictim is set, the worker owning the first spec's shard is killed
 // as soon as the sweep starts, so its runs fail over. It returns the
-// rendered report table and how many specs each peer served.
-func clusterSweep(specs []sweep.Spec, killVictim bool) (string, map[string]int) {
+// rendered report table, how many specs each peer served, and the
+// per-endpoint request totals across both workers.
+func clusterSweep(specs []sweep.Spec, killVictim bool) (table string, served map[string]int, execs, batches int64) {
 	w1, w2 := startWorker(), startWorker()
 	defer w1.kill()
 	defer w2.kill()
@@ -103,7 +128,11 @@ func clusterSweep(specs []sweep.Spec, killVictim bool) (string, map[string]int) 
 		log.Fatal(err)
 	}
 	defer backend.Close()
-	coord.SetBackend(backend)
+	if *batch {
+		coord.SetBatchBackend(backend)
+	} else {
+		coord.SetBackend(backend)
+	}
 
 	victim := backend.OwnerOf(specs[0])
 	killed := make(chan struct{})
@@ -117,7 +146,7 @@ func clusterSweep(specs []sweep.Spec, killVictim bool) (string, map[string]int) 
 	}
 
 	var mu sync.Mutex
-	served := map[string]int{}
+	served = map[string]int{}
 	res, err := coord.Sweep(context.Background(), specs, sweep.Options{
 		OnEvent: func(ev sweep.Event) {
 			switch ev.Kind {
@@ -141,7 +170,21 @@ func clusterSweep(specs []sweep.Spec, killVictim bool) (string, map[string]int) 
 	if err != nil {
 		log.Fatalf("cluster sweep: %v", err)
 	}
-	return res.Table("cluster sweep").String(), served
+	execs = w1.execs.Load() + w2.execs.Load()
+	batches = w1.batches.Load() + w2.batches.Load()
+	return res.Table("cluster sweep").String(), served, execs, batches
+}
+
+// livePeersServing counts distinct worker peers in a served map (the
+// coordinator's own cache and local fallback are not HTTP peers).
+func livePeersServing(served map[string]int) int {
+	n := 0
+	for peer := range served {
+		if strings.HasPrefix(peer, "worker-") {
+			n++
+		}
+	}
+	return n
 }
 
 func main() {
@@ -151,8 +194,12 @@ func main() {
 		Policies: strings.Split(*policies, ","),
 	}
 	specs := grid.Expand()
-	fmt.Printf("grid: %d mixes × %d policies = %d specs\n\n",
-		len(grid.Mixes), len(grid.Policies), len(specs))
+	mode := "batched shard dispatch"
+	if !*batch {
+		mode = "spec-at-a-time dispatch"
+	}
+	fmt.Printf("grid: %d mixes × %d policies = %d specs (%s)\n\n",
+		len(grid.Mixes), len(grid.Policies), len(specs), mode)
 
 	// Reference: the same grid on one plain single-node engine.
 	fmt.Println("single-node reference sweep:")
@@ -166,21 +213,42 @@ func main() {
 
 	// Cluster: two embedded workers behind a coordinating engine.
 	fmt.Println("\ncluster sweep across 2 embedded workers:")
-	clusterTable, served := clusterSweep(specs, false)
+	clusterTable, served, execs, batches := clusterSweep(specs, false)
 	fmt.Printf("  shard distribution: %v\n", served)
+	fmt.Printf("  HTTP requests: %d batch, %d single-exec, for %d specs\n", batches, execs, len(specs))
 	if clusterTable != refTable {
 		log.Fatalf("cluster table differs from single-node table:\n--- local ---\n%s--- cluster ---\n%s",
 			refTable, clusterTable)
 	}
 	fmt.Println("  ✓ report table byte-identical to the single-node run")
+	if *batch {
+		// The whole point of batching: one request per live peer, not one
+		// per spec.
+		want := int64(livePeersServing(served))
+		if batches != want || execs != 0 {
+			log.Fatalf("batched sweep cost %d batch + %d single-exec requests, want exactly %d batch (one per serving peer) and 0 single-exec",
+				batches, execs, want)
+		}
+		fmt.Printf("  ✓ one /v1/exec/batch request per live peer (%d requests for %d specs)\n", batches, len(specs))
+	} else if batches != 0 {
+		log.Fatalf("legacy mode issued %d batch requests, want 0", batches)
+	}
 
 	// Failover: fresh cluster, one worker killed as the sweep starts.
 	fmt.Println("\ncluster sweep with one worker killed mid-sweep:")
-	failTable, served := clusterSweep(specs, true)
+	failTable, served, execs, batches := clusterSweep(specs, true)
 	fmt.Printf("  shard distribution after failover: %v\n", served)
+	fmt.Printf("  HTTP requests: %d batch, %d single-exec\n", batches, execs)
 	if failTable != refTable {
 		log.Fatalf("failover table differs from single-node table:\n--- local ---\n%s--- failover ---\n%s",
 			refTable, failTable)
 	}
 	fmt.Println("  ✓ report table byte-identical despite the dead worker")
+
+	if *tableOut != "" {
+		if err := os.WriteFile(*tableOut, []byte(clusterTable), 0o644); err != nil {
+			log.Fatalf("-table-out: %v", err)
+		}
+		fmt.Printf("\ntable written to %s\n", *tableOut)
+	}
 }

@@ -1,0 +1,265 @@
+package httpapi
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dramtherm/internal/core"
+	"dramtherm/internal/sim"
+	"dramtherm/internal/sweep"
+	"dramtherm/internal/sweep/remote"
+)
+
+// batchLines posts a batch request and decodes the NDJSON stream.
+func batchLines(t *testing.T, url string, req remote.BatchRequest) []remote.BatchLine {
+	t.Helper()
+	resp := postJSON(t, url+"/v1/exec/batch", req)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+	var lines []remote.BatchLine
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var line remote.BatchLine
+		if err := dec.Decode(&line); err != nil {
+			break
+		}
+		lines = append(lines, line)
+	}
+	return lines
+}
+
+// TestBatchExec: every spec of a shard comes back exactly once with a
+// result and an outcome, duplicates deduplicate through the run cache,
+// and the shard costs builds only for distinct keys.
+func TestBatchExec(t *testing.T) {
+	ts, builds, eng := newTestServer(t, 2, 0, Config{})
+	specs := []sweep.Spec{
+		{Mix: "W1", Policy: "DTM-TS"},
+		{Mix: "W1", Policy: "DTM-BW"},
+		{Mix: "W1", Policy: "DTM-TS"}, // duplicate of 0: hit or join, never a second build
+	}
+	lines := batchLines(t, ts.URL, remote.BatchRequest{Specs: specs})
+	if len(lines) != len(specs) {
+		t.Fatalf("got %d lines, want %d", len(lines), len(specs))
+	}
+	seen := make(map[int]remote.BatchLine)
+	for _, l := range lines {
+		if _, dup := seen[l.Index]; dup {
+			t.Fatalf("index %d delivered twice", l.Index)
+		}
+		seen[l.Index] = l
+	}
+	for i, sp := range specs {
+		l, ok := seen[i]
+		if !ok {
+			t.Fatalf("index %d never delivered", i)
+		}
+		if l.Error != "" || l.Result == nil {
+			t.Fatalf("line %d: error=%q result=%v, want a result", i, l.Error, l.Result)
+		}
+		if l.Result.Seconds != 120 {
+			t.Errorf("line %d: seconds = %v, want 120", i, l.Result.Seconds)
+		}
+		if want := string(eng.Key(sp)); l.Key != want {
+			t.Errorf("line %d: key = %q, want %q", i, l.Key, want)
+		}
+	}
+	if got := builds.Load(); got != 2 {
+		t.Errorf("builds = %d, want 2 (duplicate spec must not simulate again)", got)
+	}
+}
+
+// TestBatchExecErrorPaths: the endpoint's 4xx surface — malformed body,
+// empty batch, an invalid spec (with its index), and an oversized shard.
+func TestBatchExecErrorPaths(t *testing.T) {
+	ts, _, _ := newTestServer(t, 2, 0, Config{MaxBatch: 2})
+	post := func(body string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/exec/batch", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	if resp := post("{not json"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: status = %d, want 400", resp.StatusCode)
+	}
+	if resp := post(`{"specs":[]}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty batch: status = %d, want 400", resp.StatusCode)
+	}
+	resp := post(`{"specs":[{"mix":"W1"},{"mix":"no-such-mix"}]}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid spec: status = %d, want 400", resp.StatusCode)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e.Error, "spec 1") {
+		t.Errorf("invalid-spec error %q does not name the offending index", e.Error)
+	}
+	if resp := post(`{"specs":[{"mix":"W1"},{"mix":"W2"},{"mix":"W3"}]}`); resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized shard: status = %d, want 413", resp.StatusCode)
+	}
+	if resp := post(fmt.Sprintf(`{"specs":[{"mix":"W1","cooling":"%s"}]}`, strings.Repeat("x", 9<<20))); resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: status = %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestBatchExecClientDisconnect: a coordinator that hangs up mid-stream
+// (it re-planned the shard elsewhere) must cancel the shard's remaining
+// simulations rather than burn the pool finishing them.
+func TestBatchExecClientDisconnect(t *testing.T) {
+	eng := sweep.NewEngine(core.NewSystem(core.DefaultConfig()), 2)
+	var started, cancelled atomic.Int64
+	release := make(chan struct{})
+	eng.SetRunFunc(func(ctx context.Context, rs core.RunSpec) (sim.MEMSpotResult, error) {
+		started.Add(1)
+		select {
+		case <-release:
+			return sim.MEMSpotResult{Seconds: 100, Completed: 1}, nil
+		case <-ctx.Done():
+			cancelled.Add(1)
+			return sim.MEMSpotResult{}, ctx.Err()
+		}
+	})
+	api := New(context.Background(), eng, Config{Logf: func(string, ...any) {}})
+	t.Cleanup(api.Close)
+	ts := httptest.NewServer(api)
+	t.Cleanup(ts.Close)
+
+	body, err := json.Marshal(remote.BatchRequest{Specs: []sweep.Spec{
+		{Mix: "W1", Policy: "DTM-TS"}, {Mix: "W1", Policy: "DTM-BW"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/exec/batch", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	// Both sims are in flight; hang up before any line is written.
+	waitFor(t, func() bool { return started.Load() == 2 })
+	cancel()
+	waitFor(t, func() bool { return cancelled.Load() == 2 })
+	close(release)
+}
+
+// TestBatchExecRunError: a deterministic per-spec failure produces a
+// terminal error line for that spec while the rest of the shard streams
+// results normally.
+func TestBatchExecRunError(t *testing.T) {
+	eng := sweep.NewEngine(core.NewSystem(core.DefaultConfig()), 2)
+	eng.SetRunFunc(func(ctx context.Context, rs core.RunSpec) (sim.MEMSpotResult, error) {
+		if rs.Policy.Name() == "DTM-BW" {
+			return sim.MEMSpotResult{}, fmt.Errorf("boom")
+		}
+		return sim.MEMSpotResult{Seconds: 100, Completed: 1}, nil
+	})
+	api := New(context.Background(), eng, Config{Logf: func(string, ...any) {}})
+	t.Cleanup(api.Close)
+	ts := httptest.NewServer(api)
+	t.Cleanup(ts.Close)
+
+	lines := batchLines(t, ts.URL, remote.BatchRequest{Specs: []sweep.Spec{
+		{Mix: "W1", Policy: "DTM-TS"}, {Mix: "W1", Policy: "DTM-BW"},
+	}})
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	byIndex := map[int]remote.BatchLine{}
+	for _, l := range lines {
+		byIndex[l.Index] = l
+	}
+	if l := byIndex[0]; l.Error != "" || l.Result == nil {
+		t.Errorf("spec 0: error=%q, want a result", l.Error)
+	}
+	if l := byIndex[1]; !strings.Contains(l.Error, "boom") || l.Result != nil {
+		t.Errorf("spec 1: error=%q result=%v, want the boom error and no result", l.Error, l.Result)
+	}
+}
+
+// TestBatchExecStreams: lines arrive incrementally as specs finish, not
+// in one buffered flush at the end — that is what feeds live progress
+// into the coordinator's event log and SSE.
+func TestBatchExecStreams(t *testing.T) {
+	// Two pool slots so the gated spec cannot starve the ungated one.
+	eng := sweep.NewEngine(core.NewSystem(core.DefaultConfig()), 2)
+	gate := make(chan struct{})
+	eng.SetRunFunc(func(ctx context.Context, rs core.RunSpec) (sim.MEMSpotResult, error) {
+		if rs.Policy.Name() == "DTM-BW" {
+			// The second spec waits until the test has read the first line.
+			select {
+			case <-gate:
+			case <-ctx.Done():
+				return sim.MEMSpotResult{}, ctx.Err()
+			}
+		}
+		return sim.MEMSpotResult{Seconds: 100, Completed: 1}, nil
+	})
+	api := New(context.Background(), eng, Config{})
+	t.Cleanup(api.Close)
+	ts := httptest.NewServer(api)
+	t.Cleanup(ts.Close)
+
+	resp := postJSON(t, ts.URL+"/v1/exec/batch", remote.BatchRequest{Specs: []sweep.Spec{
+		{Mix: "W1", Policy: "DTM-TS"}, {Mix: "W1", Policy: "DTM-BW"},
+	}})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		t.Fatalf("no first line before the gate opened: %v", sc.Err())
+	}
+	var first remote.BatchLine
+	if err := json.Unmarshal(sc.Bytes(), &first); err != nil {
+		t.Fatalf("first line %q: %v", sc.Text(), err)
+	}
+	if first.Index != 0 || first.Result == nil {
+		t.Fatalf("first line = %+v, want spec 0's result (spec 1 is gated)", first)
+	}
+	close(gate)
+	if !sc.Scan() {
+		t.Fatalf("no second line after the gate opened: %v", sc.Err())
+	}
+}
+
+// waitFor polls cond until it holds or the test times out.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never held")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

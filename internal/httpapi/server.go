@@ -24,6 +24,9 @@ type Config struct {
 	MaxJobs int
 	// Heartbeat is the SSE keep-alive comment period (default 15s).
 	Heartbeat time.Duration
+	// MaxBatch bounds the spec count of one POST /v1/exec/batch shard
+	// (default DefaultMaxBatch); larger shards get a 413.
+	MaxBatch int
 	// Logf sinks internal-error logs (default log.Printf).
 	Logf func(format string, v ...any)
 	// Version is reported by GET /v1/healthz (default "dev").
@@ -34,12 +37,17 @@ type Config struct {
 	ClusterStatus func() any
 }
 
+// DefaultMaxBatch is the default bound on specs per batch request —
+// far above any sensible grid, low enough to reject garbage early.
+const DefaultMaxBatch = 4096
+
 // Server is the HTTP front end. It implements http.Handler.
 type Server struct {
 	eng       *sweep.Engine
 	mux       *http.ServeMux
 	jobs      *sweep.Jobs
 	heartbeat time.Duration
+	maxBatch  int
 	logf      func(format string, v ...any)
 	version   string
 	cluster   func() any
@@ -65,11 +73,15 @@ func New(base context.Context, eng *sweep.Engine, cfg Config) *Server {
 	if cfg.Version == "" {
 		cfg.Version = "dev"
 	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
 	s := &Server{
 		eng:       eng,
 		mux:       http.NewServeMux(),
 		jobs:      sweep.NewJobs(sweep.JobsOptions{TTL: cfg.JobTTL, MaxJobs: cfg.MaxJobs}),
 		heartbeat: cfg.Heartbeat,
+		maxBatch:  cfg.MaxBatch,
 		logf:      cfg.Logf,
 		version:   cfg.Version,
 		cluster:   cfg.ClusterStatus,
@@ -79,6 +91,7 @@ func New(base context.Context, eng *sweep.Engine, cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("POST /v1/runs", s.handleSubmitRun)
 	s.mux.HandleFunc("POST /v1/exec", s.handleExec)
+	s.mux.HandleFunc("POST /v1/exec/batch", s.handleExecBatch)
 	s.mux.HandleFunc("GET /v1/runs", s.handleListRuns)
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleGetRun)
 	s.mux.HandleFunc("GET /v1/runs/{id}/events", s.handleRunEvents)

@@ -43,6 +43,32 @@ type SpecBackend interface {
 	RunSpec(ctx context.Context, spec Spec) (sim.MEMSpotResult, RunInfo, error)
 }
 
+// ErrRunLocal is the sentinel a BatchBackend delivers for specs no peer
+// could serve: instead of executing the run itself (which would bypass
+// the worker pool), the backend hands it back and the engine executes it
+// locally inside the leader's pool slot — exactly where the
+// spec-at-a-time local fallback runs.
+var ErrRunLocal = errors.New("sweep: no peer available, execute locally")
+
+// localPeer is the RunInfo.Peer reported for batch specs the engine
+// executed itself after an ErrRunLocal delivery. It matches the remote
+// backend's spec-at-a-time fallback marker.
+const localPeer = "local"
+
+// BatchBackend is the grid-at-a-time extension of SpecBackend: Sweep
+// hands it every distinct uncached spec of a grid in one call instead of
+// dispatching spec-at-a-time, so a distributed implementation can send
+// each cluster peer its whole shard in a single request. deliver must be
+// called exactly once per spec index, from any goroutine, as outcomes
+// become available; RunSpecs returns when every index has been delivered
+// or ctx is done. A spec no peer can serve is delivered with ErrRunLocal
+// (the engine runs it on its own pool); any other delivered error is
+// terminal for that spec.
+type BatchBackend interface {
+	SpecBackend
+	RunSpecs(ctx context.Context, specs []Spec, deliver func(i int, res sim.MEMSpotResult, info RunInfo, err error))
+}
+
 // Engine serves level-2 runs from a deduplicating cache over one
 // core.System. It is safe for concurrent use by any number of callers;
 // actual simulation work is bounded by the cache's worker pool.
@@ -52,6 +78,7 @@ type Engine struct {
 	cache    *Cache[sim.MEMSpotResult]
 	run      RunFunc
 	backend  SpecBackend
+	batch    BatchBackend
 	policies map[string]bool
 }
 
@@ -87,7 +114,21 @@ func (e *Engine) SetRunFunc(fn RunFunc) { e.run = fn }
 // SetBackend routes cache misses through b instead of local execution
 // (cluster mode). It must be called before the engine is shared across
 // goroutines. Backends that need a local fallback should capture Exec.
-func (e *Engine) SetBackend(b SpecBackend) { e.backend = b }
+// Single runs always dispatch spec-at-a-time; use SetBatchBackend to
+// additionally batch whole sweeps.
+func (e *Engine) SetBackend(b SpecBackend) {
+	e.backend = b
+	e.batch = nil
+}
+
+// SetBatchBackend is SetBackend plus grid batching: Sweep plans each
+// grid's distinct uncached specs into one RunSpecs call (one request per
+// cluster peer) while single runs keep dispatching through RunSpec. It
+// must be called before the engine is shared across goroutines.
+func (e *Engine) SetBatchBackend(b BatchBackend) {
+	e.backend = b
+	e.batch = b
+}
 
 // Key canonicalizes the spec under this engine's configuration digest —
 // the identity the run cache and the remote backend's consistent-hash

@@ -1,0 +1,315 @@
+package remote
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+
+	"dramtherm/internal/sim"
+	"dramtherm/internal/sweep"
+)
+
+// BatchPath is the batched execution endpoint: POST a BatchRequest, read
+// per-spec outcomes back as a stream of NDJSON BatchLines.
+const BatchPath = "/v1/exec/batch"
+
+// BatchRequest is the POST /v1/exec/batch body: one peer's whole shard
+// of a sweep.
+type BatchRequest struct {
+	Specs []sweep.Spec `json:"specs"`
+}
+
+// BatchLine is one NDJSON line of a batch response, emitted as each spec
+// of the shard completes. Exactly one of Result and Error is set: an
+// Error line is terminal for that spec (retrying elsewhere would fail
+// identically), while peer-level failures truncate the stream instead so
+// the coordinator fails the unacknowledged remainder over.
+type BatchLine struct {
+	// Index is the spec's position in the BatchRequest.
+	Index int `json:"index"`
+	// Key is the serving node's canonical cache key for the spec,
+	// for log correlation across nodes.
+	Key string `json:"key,omitempty"`
+	// Outcome is how the serving node obtained the result: "built",
+	// "hit" or "joined".
+	Outcome string             `json:"outcome,omitempty"`
+	Result  *sim.MEMSpotResult `json:"result,omitempty"`
+	Error   string             `json:"error,omitempty"`
+}
+
+// Shard is one ring member's slice of a planned batch.
+type Shard struct {
+	// Peer is the owning member's id, or "" for specs no live peer owns
+	// (the ring is empty): those execute locally.
+	Peer string
+	// Indexes are positions in the planned spec list, in input order.
+	Indexes []int
+}
+
+// PlanShards groups specs by the ring member that currently owns their
+// key — the dispatch plan for a batched sweep: one Shard, one request.
+// Shards appear in first-ownership order; specs with no live owner
+// collect under the "" shard. The plan is a snapshot: membership changes
+// after planning are handled by dispatch-time failover, not re-planning.
+func (b *Backend) PlanShards(specs []sweep.Spec) []Shard {
+	b.readmitExpired()
+	b.mu.RLock()
+	ring := b.ring
+	b.mu.RUnlock()
+	byPeer := make(map[string]int)
+	var out []Shard
+	for i, sp := range specs {
+		owner := ""
+		if c := ring.candidates(string(b.cfg.Key(sp))); len(c) > 0 {
+			owner = b.peers[c[0]].id
+		}
+		j, ok := byPeer[owner]
+		if !ok {
+			j = len(out)
+			byPeer[owner] = j
+			out = append(out, Shard{Peer: owner})
+		}
+		out[j].Indexes = append(out[j].Indexes, i)
+	}
+	return out
+}
+
+// RunSpecs implements sweep.BatchBackend: it plans the specs into one
+// shard per ring owner, sends each peer its entire shard in a single
+// request, and delivers per-spec outcomes as the NDJSON response streams
+// back. When a peer dies mid-stream the specs it had not yet
+// acknowledged are re-planned onto the surviving ring; when no peer is
+// left they are delivered with sweep.ErrRunLocal so the engine executes
+// them on its own pool.
+func (b *Backend) RunSpecs(ctx context.Context, specs []sweep.Spec, deliver func(i int, res sim.MEMSpotResult, info sweep.RunInfo, err error)) {
+	// Failover can race a late line from a dying stream; guard delivery
+	// so each spec is reported exactly once.
+	var mu sync.Mutex
+	acked := make([]bool, len(specs))
+	once := func(i int, res sim.MEMSpotResult, info sweep.RunInfo, err error) {
+		mu.Lock()
+		dup := acked[i]
+		acked[i] = true
+		mu.Unlock()
+		if !dup {
+			deliver(i, res, info, err)
+		}
+	}
+	all := make([]int, len(specs))
+	for i := range all {
+		all[i] = i
+	}
+	// Each failover round ejects at least one peer, so after a round per
+	// configured peer only local execution is left.
+	b.runBatch(ctx, specs, all, once, len(b.peers))
+}
+
+// runBatch plans idxs onto the current ring and dispatches one request
+// per shard, recursing on the unacknowledged remainder of failed shards
+// with a decremented budget. A zero budget (or an empty ring) delivers
+// sweep.ErrRunLocal.
+func (b *Backend) runBatch(ctx context.Context, specs []sweep.Spec, idxs []int, deliver func(int, sim.MEMSpotResult, sweep.RunInfo, error), budget int) {
+	if ctx.Err() != nil {
+		return // the sweep is over; nobody is waiting on deliveries
+	}
+	sub := make([]sweep.Spec, len(idxs))
+	for j, i := range idxs {
+		sub[j] = specs[i]
+	}
+	var wg sync.WaitGroup
+	for _, sh := range b.PlanShards(sub) {
+		mapped := make([]int, len(sh.Indexes))
+		for j, k := range sh.Indexes {
+			mapped[j] = idxs[k]
+		}
+		if sh.Peer == "" || budget <= 0 {
+			for _, i := range mapped {
+				deliver(i, sim.MEMSpotResult{}, sweep.RunInfo{}, sweep.ErrRunLocal)
+			}
+			continue
+		}
+		p := b.peerByID(sh.Peer)
+		wg.Add(1)
+		go func(p *peer, mapped []int) {
+			defer wg.Done()
+			unacked, singles := b.dispatchBatch(ctx, p, specs, mapped, deliver)
+			if singles {
+				// The peer is healthy but cannot take this shard as one
+				// batch: dispatch it spec-at-a-time against the same peer.
+				unacked = b.dispatchSingles(ctx, p, specs, unacked, deliver)
+			}
+			if len(unacked) > 0 {
+				b.runBatch(ctx, specs, unacked, deliver, budget-1)
+			}
+		}(p, mapped)
+	}
+	wg.Wait()
+}
+
+func (b *Backend) peerByID(id string) *peer {
+	for _, p := range b.peers {
+		if p.id == id {
+			return p
+		}
+	}
+	return nil // unreachable: PlanShards only names configured peers
+}
+
+// dispatchBatch sends p its shard in one request and delivers outcomes
+// as the response streams back. It returns the indexes the peer never
+// acknowledged when the peer failed (submit error, 5xx, stream
+// truncation or protocol violation) — the caller's cue to fail them
+// over — and nil when every spec was delivered or the caller's ctx
+// died. singles is set when the peer is healthy but cannot take the
+// shard as one batch (no batch endpoint, or the shard exceeds its size
+// limit): the unacked specs should go to the same peer spec-at-a-time.
+func (b *Backend) dispatchBatch(ctx context.Context, p *peer, specs []sweep.Spec, idxs []int, deliver func(int, sim.MEMSpotResult, sweep.RunInfo, error)) (unacked []int, singles bool) {
+	var zero sim.MEMSpotResult
+	select {
+	case p.sem <- struct{}{}:
+		defer func() { <-p.sem }()
+	case <-ctx.Done():
+		return nil, false
+	}
+	p.requests.Add(1)
+	breq := BatchRequest{Specs: make([]sweep.Spec, len(idxs))}
+	for j, i := range idxs {
+		breq.Specs[j] = specs[i]
+	}
+	body, err := json.Marshal(breq)
+	if err != nil {
+		for _, i := range idxs {
+			deliver(i, zero, sweep.RunInfo{}, err)
+		}
+		return nil, false
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.url+BatchPath, bytes.NewReader(body))
+	if err != nil {
+		for _, i := range idxs {
+			deliver(i, zero, sweep.RunInfo{}, err)
+		}
+		return nil, false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := b.client.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, false // the caller gave up; not the peer's fault
+		}
+		b.eject(p, err)
+		return idxs, false
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		return b.decodeBatchStream(ctx, p, resp.Body, idxs, deliver), false
+	case resp.StatusCode == http.StatusNotFound || resp.StatusCode == http.StatusMethodNotAllowed ||
+		resp.StatusCode == http.StatusRequestEntityTooLarge:
+		// The peer is healthy but batch-incapable for this shard: an
+		// older node without the endpoint (404/405) or a shard over its
+		// size limit (413). Degrade to spec-at-a-time dispatch instead
+		// of failing the sweep or ejecting a working peer.
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096)) //nolint:errcheck
+		return idxs, true
+	case resp.StatusCode >= 400 && resp.StatusCode < 500:
+		// The peer is healthy and rejected the batch itself: terminal for
+		// every spec in it (the coordinator validated them, so this is a
+		// version-skew or protocol bug worth surfacing, not retrying).
+		err := fmt.Errorf("remote: peer %s rejected batch: %s", p.id, errorBody(resp))
+		for _, i := range idxs {
+			deliver(i, zero, sweep.RunInfo{}, err)
+		}
+		return nil, false
+	default:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096)) //nolint:errcheck
+		b.eject(p, fmt.Errorf("batch status %s", resp.Status))
+		return idxs, false
+	}
+}
+
+// dispatchSingles executes idxs against p one spec at a time — the
+// degraded path for a healthy peer that cannot serve the shard as one
+// batch. Concurrency is bounded by the peer's request pool (dispatch
+// acquires a slot per call). Peer failures eject p and return the
+// still-unserved indexes for re-planning; terminal errors are delivered.
+func (b *Backend) dispatchSingles(ctx context.Context, p *peer, specs []sweep.Spec, idxs []int, deliver func(int, sim.MEMSpotResult, sweep.RunInfo, error)) (unacked []int) {
+	var (
+		mu sync.Mutex
+		wg sync.WaitGroup
+	)
+	for _, i := range idxs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, info, err := b.dispatch(ctx, p, specs[i])
+			var pe *peerError
+			switch {
+			case err == nil:
+				deliver(i, res, info, nil)
+			case errors.As(err, &pe):
+				b.eject(p, pe.err)
+				mu.Lock()
+				unacked = append(unacked, i)
+				mu.Unlock()
+			case ctx.Err() != nil:
+				// The sweep is over; nobody is waiting on the delivery.
+			default:
+				deliver(i, sim.MEMSpotResult{}, sweep.RunInfo{}, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	sort.Ints(unacked)
+	return unacked
+}
+
+// decodeBatchStream consumes one batch response, delivering each line's
+// outcome. The remainder fails over when the stream dies or misbehaves
+// before acknowledging every spec.
+func (b *Backend) decodeBatchStream(ctx context.Context, p *peer, body io.Reader, idxs []int, deliver func(int, sim.MEMSpotResult, sweep.RunInfo, error)) (unacked []int) {
+	var zero sim.MEMSpotResult
+	acked := make([]bool, len(idxs))
+	remaining := func() []int {
+		var out []int
+		for j, ok := range acked {
+			if !ok {
+				out = append(out, idxs[j])
+			}
+		}
+		return out
+	}
+	dec := json.NewDecoder(body)
+	for n := 0; n < len(idxs); n++ {
+		var line BatchLine
+		if err := dec.Decode(&line); err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			// io.EOF here is a truncated stream: the peer drained or died
+			// with specs outstanding.
+			b.eject(p, fmt.Errorf("batch stream: %w", err))
+			return remaining()
+		}
+		if line.Index < 0 || line.Index >= len(idxs) || acked[line.Index] {
+			b.eject(p, fmt.Errorf("batch protocol: unexpected line index %d", line.Index))
+			return remaining()
+		}
+		acked[line.Index] = true
+		switch {
+		case line.Error != "":
+			deliver(idxs[line.Index], zero, sweep.RunInfo{}, fmt.Errorf("remote: run failed on peer %s: %s", p.id, line.Error))
+		case line.Result != nil:
+			deliver(idxs[line.Index], *line.Result, sweep.RunInfo{Outcome: parseOutcome(line.Outcome), Peer: p.id}, nil)
+		default:
+			b.eject(p, fmt.Errorf("batch protocol: line %d has neither result nor error", line.Index))
+			return remaining()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,312 @@
+package remote_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dramtherm/internal/core"
+	"dramtherm/internal/httpapi"
+	"dramtherm/internal/sim"
+	"dramtherm/internal/sweep"
+	"dramtherm/internal/sweep/remote"
+)
+
+// countingWorker is an embedded dramthermd that counts exec requests by
+// endpoint and whose simulations can be frozen (to stage a mid-stream
+// death deterministically).
+type countingWorker struct {
+	ts      *httptest.Server
+	api     *httpapi.Server
+	execs   atomic.Int64
+	batches atomic.Int64
+	frozen  atomic.Bool
+	gotRun  chan struct{} // closed on the first frozen run
+	once    sync.Once
+	kill    func()
+}
+
+func newCountingWorker(t *testing.T) *countingWorker {
+	t.Helper()
+	w := &countingWorker{gotRun: make(chan struct{})}
+	eng := sweep.NewEngine(core.NewSystem(core.DefaultConfig()), 4)
+	eng.SetRunFunc(func(ctx context.Context, rs core.RunSpec) (sim.MEMSpotResult, error) {
+		if w.frozen.Load() {
+			w.once.Do(func() { close(w.gotRun) })
+			<-ctx.Done() // hold the stream open until the worker is killed
+			return sim.MEMSpotResult{}, ctx.Err()
+		}
+		secs := 100.0
+		if rs.Policy.Name() != "No-limit" {
+			secs = 150
+		}
+		return sim.MEMSpotResult{Seconds: secs, Completed: 1}, nil
+	})
+	w.api = httpapi.New(context.Background(), eng, httpapi.Config{Logf: func(string, ...any) {}})
+	w.ts = httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case remote.ExecPath:
+			w.execs.Add(1)
+		case remote.BatchPath:
+			w.batches.Add(1)
+		}
+		w.api.ServeHTTP(rw, r)
+	}))
+	var killOnce sync.Once
+	w.kill = func() {
+		killOnce.Do(func() {
+			w.ts.CloseClientConnections()
+			w.ts.Close()
+			w.api.Close()
+		})
+	}
+	t.Cleanup(w.kill)
+	return w
+}
+
+// singleNodeTable sweeps specs on one plain fake engine — the reference
+// every cluster run must reproduce byte-for-byte.
+func singleNodeTable(t *testing.T, specs []sweep.Spec) string {
+	t.Helper()
+	res, err := fakeEngine(nil, 0).Sweep(context.Background(), specs, sweep.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Table("t").String()
+}
+
+// TestBatchedSweepOneRequestPerPeer is the batched dispatch acceptance
+// test: a multi-peer sweep costs exactly one /v1/exec/batch request per
+// live peer that owns a shard — never one request per spec — and the
+// report table is byte-identical to single-node execution.
+func TestBatchedSweepOneRequestPerPeer(t *testing.T) {
+	specs := sweep.Grid{
+		Mixes:    []string{"W1", "W2"},
+		Policies: []string{"DTM-TS", "DTM-BW", "DTM-ACG", "DTM-CDVFS"},
+	}.Expand()
+
+	workers := []*countingWorker{newCountingWorker(t), newCountingWorker(t), newCountingWorker(t)}
+	coord := fakeEngine(nil, 0)
+	b := newBackend(t, coord, remote.Config{Peers: []remote.Peer{
+		{ID: "w0", URL: workers[0].ts.URL},
+		{ID: "w1", URL: workers[1].ts.URL},
+		{ID: "w2", URL: workers[2].ts.URL},
+	}})
+	coord.SetBatchBackend(b)
+
+	// The plan tells us which peers own a shard of this grid.
+	owners := map[string]bool{}
+	for _, sh := range b.PlanShards(specs) {
+		if sh.Peer != "" {
+			owners[sh.Peer] = true
+		}
+	}
+	if len(owners) < 2 {
+		t.Fatalf("grid of %d specs landed on %d peers; want a multi-peer spread", len(specs), len(owners))
+	}
+
+	res, err := coord.Sweep(context.Background(), specs, sweep.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.Table("t").String(), singleNodeTable(t, specs); got != want {
+		t.Fatalf("batched table differs from single-node:\n--- single ---\n%s--- batched ---\n%s", want, got)
+	}
+	for i, w := range workers {
+		id := []string{"w0", "w1", "w2"}[i]
+		wantBatches := int64(0)
+		if owners[id] {
+			wantBatches = 1
+		}
+		if got := w.batches.Load(); got != wantBatches {
+			t.Errorf("%s served %d batch requests, want %d", id, got, wantBatches)
+		}
+		if got := w.execs.Load(); got != 0 {
+			t.Errorf("%s served %d single-exec requests, want 0", id, got)
+		}
+	}
+}
+
+// TestBatchedSweepMidStreamKill: a peer that dies mid-stream acks
+// nothing; its whole shard re-plans onto the surviving ring in one more
+// batch request, and the table still comes out byte-identical.
+func TestBatchedSweepMidStreamKill(t *testing.T) {
+	specs := sweep.Grid{
+		Mixes:    []string{"W1", "W2"},
+		Policies: []string{"DTM-TS", "DTM-BW", "DTM-ACG", "DTM-CDVFS"},
+	}.Expand()
+
+	victim, survivor := newCountingWorker(t), newCountingWorker(t)
+	coord := fakeEngine(nil, 0)
+	b := newBackend(t, coord, remote.Config{
+		Peers: []remote.Peer{
+			{ID: "victim", URL: victim.ts.URL},
+			{ID: "survivor", URL: survivor.ts.URL},
+		},
+		Local: coord.Exec,
+	})
+	coord.SetBatchBackend(b)
+
+	victimOwns, survivorOwns := false, false
+	for _, sh := range b.PlanShards(specs) {
+		switch sh.Peer {
+		case "victim":
+			victimOwns = true
+		case "survivor":
+			survivorOwns = true
+		}
+	}
+	if !victimOwns {
+		t.Fatalf("victim owns no shard of this grid; pick a bigger grid")
+	}
+
+	// Freeze the victim: its first simulation holds its batch stream open
+	// (nothing acked), then the kill truncates it.
+	victim.frozen.Store(true)
+	go func() {
+		select {
+		case <-victim.gotRun:
+		case <-time.After(10 * time.Second):
+		}
+		victim.kill()
+	}()
+
+	res, err := coord.Sweep(context.Background(), specs, sweep.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.Table("t").String(), singleNodeTable(t, specs); got != want {
+		t.Fatalf("failover table differs from single-node:\n--- single ---\n%s--- failover ---\n%s", want, got)
+	}
+	if got := victim.batches.Load(); got != 1 {
+		t.Errorf("victim served %d batch requests, want 1 (the one that died)", got)
+	}
+	wantSurvivor := int64(1) // the failover re-plan
+	if survivorOwns {
+		wantSurvivor = 2 // its own shard first
+	}
+	if got := survivor.batches.Load(); got != wantSurvivor {
+		t.Errorf("survivor served %d batch requests, want %d", got, wantSurvivor)
+	}
+	if got := victim.execs.Load() + survivor.execs.Load(); got != 0 {
+		t.Errorf("cluster served %d single-exec requests, want 0 in batched mode", got)
+	}
+}
+
+// TestBatchFallbackToSingles: a healthy peer that cannot take its shard
+// as one batch — an older node without the endpoint (404) or one whose
+// MaxBatch is smaller than the shard (413) — is served spec-at-a-time
+// instead of failing the sweep or being ejected.
+func TestBatchFallbackToSingles(t *testing.T) {
+	specs := sweep.Grid{
+		Mixes:    []string{"W1", "W2"},
+		Policies: []string{"DTM-TS", "DTM-BW", "DTM-ACG", "DTM-CDVFS"},
+	}.Expand()
+
+	newIncapableWorker := func(cfg httpapi.Config, fake404 bool) *countingWorker {
+		w := &countingWorker{gotRun: make(chan struct{})}
+		eng := sweep.NewEngine(core.NewSystem(core.DefaultConfig()), 4)
+		eng.SetRunFunc(func(ctx context.Context, rs core.RunSpec) (sim.MEMSpotResult, error) {
+			secs := 100.0
+			if rs.Policy.Name() != "No-limit" {
+				secs = 150
+			}
+			return sim.MEMSpotResult{Seconds: secs, Completed: 1}, nil
+		})
+		cfg.Logf = func(string, ...any) {}
+		w.api = httpapi.New(context.Background(), eng, cfg)
+		w.ts = httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+			switch r.URL.Path {
+			case remote.ExecPath:
+				w.execs.Add(1)
+			case remote.BatchPath:
+				w.batches.Add(1)
+				if fake404 { // a pre-batch node: the endpoint does not exist
+					http.NotFound(rw, r)
+					return
+				}
+			}
+			w.api.ServeHTTP(rw, r)
+		}))
+		t.Cleanup(func() { w.ts.Close(); w.api.Close() })
+		return w
+	}
+	// legacy pretends to be a pre-batch node: its batch route 404s.
+	legacy := newIncapableWorker(httpapi.Config{}, true)
+	// tiny accepts at most one spec per batch, so any real shard 413s.
+	tiny := newIncapableWorker(httpapi.Config{MaxBatch: 1}, false)
+
+	coord := fakeEngine(nil, 0)
+	b := newBackend(t, coord, remote.Config{Peers: []remote.Peer{
+		{ID: "legacy", URL: legacy.ts.URL},
+		{ID: "tiny", URL: tiny.ts.URL},
+	}})
+	coord.SetBatchBackend(b)
+
+	res, err := coord.Sweep(context.Background(), specs, sweep.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.Table("t").String(), singleNodeTable(t, specs); got != want {
+		t.Fatalf("fallback table differs from single-node:\n--- single ---\n%s--- fallback ---\n%s", want, got)
+	}
+	// Every spec was served over /v1/exec by the peer that owned it.
+	if got := legacy.execs.Load() + tiny.execs.Load(); got != int64(len(specs)) {
+		t.Errorf("singles served = %d, want %d", got, len(specs))
+	}
+	for _, st := range b.Status() {
+		if !st.Up {
+			t.Errorf("peer %s was ejected; batch-incapable peers must stay in the ring", st.ID)
+		}
+	}
+}
+
+// TestPlanShards: the plan covers every spec exactly once, groups by the
+// routing ring's owner, and an empty ring collects everything under the
+// local shard.
+func TestPlanShards(t *testing.T) {
+	specs := sweep.Grid{
+		Mixes:    []string{"W1", "W2", "W3"},
+		Policies: []string{"DTM-TS", "DTM-BW"},
+	}.Expand()
+	coord := fakeEngine(nil, 0)
+	b := newBackend(t, coord, remote.Config{Peers: []remote.Peer{
+		{ID: "a", URL: "http://unused-a"},
+		{ID: "b", URL: "http://unused-b"},
+	}})
+
+	seen := make(map[int]bool)
+	for _, sh := range b.PlanShards(specs) {
+		if sh.Peer == "" {
+			t.Errorf("live ring produced a local shard: %+v", sh)
+		}
+		for _, i := range sh.Indexes {
+			if seen[i] {
+				t.Errorf("spec %d planned twice", i)
+			}
+			seen[i] = true
+			if owner := b.OwnerOf(specs[i]); owner != sh.Peer {
+				t.Errorf("spec %d planned on %s but owned by %s", i, sh.Peer, owner)
+			}
+		}
+	}
+	if len(seen) != len(specs) {
+		t.Errorf("plan covered %d of %d specs", len(seen), len(specs))
+	}
+
+	// No peers at all: everything lands in the local shard.
+	lonely := fakeEngine(nil, 0)
+	lb, err := remote.New(remote.Config{Key: lonely.Key, Local: lonely.Exec, ProbeEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(lb.Close)
+	shards := lb.PlanShards(specs)
+	if len(shards) != 1 || shards[0].Peer != "" || len(shards[0].Indexes) != len(specs) {
+		t.Fatalf("empty ring plan = %+v, want one local shard with every spec", shards)
+	}
+}

@@ -25,10 +25,22 @@
 //
 // # Wire protocol
 //
-// Dispatch is one synchronous POST /v1/exec per run, bounded by a
+// Single runs dispatch as one synchronous POST /v1/exec, bounded by a
 // per-peer request pool: the body is the sweep.Spec JSON and the reply
 // an ExecResponse carrying the full result plus the peer's own cache
 // outcome. That outcome and the peer id flow back through
 // sweep.RunInfo into Event.Peer, the job event log, and the SSE
 // stream, so a cluster-wide sweep is observable per spec.
+//
+// # Batched sweeps
+//
+// Backend also implements sweep.BatchBackend: a whole sweep is planned
+// up front (PlanShards groups the grid's distinct uncached specs by
+// ring owner) and each peer receives its entire shard in a single
+// POST /v1/exec/batch, streaming per-spec outcomes back as NDJSON
+// BatchLines — one round trip per peer instead of one per spec, with
+// the same per-spec observability. A peer that dies mid-stream only
+// loses its unacknowledged specs: they re-plan onto the surviving
+// ring, and when no peer is left they are handed back to the engine
+// with sweep.ErrRunLocal for local execution.
 package remote

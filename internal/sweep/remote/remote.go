@@ -320,21 +320,27 @@ func (b *Backend) dispatch(ctx context.Context, p *peer, spec sweep.Spec) (sim.M
 		// 4xx is terminal: the spec is invalid (400) or its run fails
 		// deterministically (422) — no other peer would do better, and
 		// the peer itself is healthy.
-		var e struct {
-			Error string `json:"error"`
-		}
-		json.NewDecoder(resp.Body).Decode(&e) //nolint:errcheck // fall back to the status line
-		if e.Error == "" {
-			e.Error = resp.Status
-		}
 		if resp.StatusCode == http.StatusUnprocessableEntity {
-			return zero, sweep.RunInfo{}, fmt.Errorf("remote: run failed on peer %s: %s", p.id, e.Error)
+			return zero, sweep.RunInfo{}, fmt.Errorf("remote: run failed on peer %s: %s", p.id, errorBody(resp))
 		}
-		return zero, sweep.RunInfo{}, fmt.Errorf("remote: peer %s rejected spec: %s", p.id, e.Error)
+		return zero, sweep.RunInfo{}, fmt.Errorf("remote: peer %s rejected spec: %s", p.id, errorBody(resp))
 	default:
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096)) //nolint:errcheck
 		return zero, sweep.RunInfo{}, &peerError{p.id, fmt.Errorf("status %s", resp.Status)}
 	}
+}
+
+// errorBody extracts the {"error": ...} message of a 4xx reply, falling
+// back to the status line.
+func errorBody(resp *http.Response) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	json.NewDecoder(resp.Body).Decode(&e) //nolint:errcheck // fall back to the status line
+	if e.Error == "" {
+		return resp.Status
+	}
+	return e.Error
 }
 
 // parseOutcome maps the wire outcome back to the sweep enum; anything

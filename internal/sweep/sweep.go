@@ -2,6 +2,8 @@ package sweep
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"sync"
 
 	"dramtherm/internal/report"
@@ -85,7 +87,10 @@ type Result struct {
 // specs collapse to one simulation; parallelism is bounded by the worker
 // pool) and returns positionally aligned results. The first error
 // cancels the remaining jobs and is returned; ctx cancellation does the
-// same with ctx.Err().
+// same with ctx.Err(). With a BatchBackend installed the grid's distinct
+// uncached specs are handed to the backend in one call (one request per
+// cluster peer) instead of spec-at-a-time; per-spec cache and event
+// semantics are unchanged.
 func (e *Engine) Sweep(ctx context.Context, specs []Spec, opts Options) (*Result, error) {
 	res := &Result{
 		Specs:   specs,
@@ -94,6 +99,26 @@ func (e *Engine) Sweep(ctx context.Context, specs []Spec, opts Options) (*Result
 	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+
+	runOne := e.RunDetailed
+	if e.batch != nil {
+		// The dispatcher goroutine is bounded by ctx, which the deferred
+		// cancel kills when the sweep returns.
+		runOne = e.batchRunner(ctx, specs, opts.Normalize)
+	}
+	// normOne computes runtime(spec)/runtime(baseline) through runOne,
+	// so in batched mode the No-limit baselines ride the batch plan too
+	// instead of dispatching spec-at-a-time.
+	normOne := func(ctx context.Context, spec Spec, r sim.MEMSpotResult) (float64, error) {
+		base, _, err := runOne(ctx, e.BaselineSpec(spec))
+		if err != nil {
+			return 0, err
+		}
+		if base.Seconds == 0 {
+			return 0, fmt.Errorf("sweep: zero-length baseline for %s", spec)
+		}
+		return r.Seconds / base.Seconds, nil
+	}
 
 	var (
 		wg       sync.WaitGroup
@@ -108,13 +133,13 @@ func (e *Engine) Sweep(ctx context.Context, specs []Spec, opts Options) (*Result
 			if opts.OnEvent != nil {
 				opts.OnEvent(Event{Kind: EventStarted, Index: i, Spec: specs[i], Total: len(specs)})
 			}
-			r, info, err := e.RunDetailed(ctx, specs[i])
+			r, info, err := runOne(ctx, specs[i])
 			if err == nil {
 				res.Results[i] = r
 				if opts.Normalize {
-					// The spec's own run is already cached, so this only
+					// The spec's own run is already in hand, so this only
 					// adds the No-limit baseline.
-					res.Norms[i], err = e.Normalized(ctx, specs[i])
+					res.Norms[i], err = normOne(ctx, specs[i], r)
 				}
 			}
 			mu.Lock()
@@ -146,6 +171,88 @@ func (e *Engine) Sweep(ctx context.Context, specs []Spec, opts Options) (*Result
 		return nil, firstErr
 	}
 	return res, nil
+}
+
+// batchRunner plans a sweep's distinct uncached specs — plus their
+// No-limit baselines when normalizing — into one BatchBackend call and
+// returns a RunDetailed-equivalent runner whose cache builders wait on
+// the batch stream instead of dispatching spec-at-a-time. Every run
+// still flows through the cache, so duplicate specs join, concurrent
+// sweeps deduplicate, and observers see the same built/hit/joined
+// outcomes and peer ids as the unbatched path.
+func (e *Engine) batchRunner(ctx context.Context, specs []Spec, normalize bool) func(context.Context, Spec) (sim.MEMSpotResult, RunInfo, error) {
+	type pending struct {
+		done chan struct{}
+		res  sim.MEMSpotResult
+		info RunInfo
+		err  error
+	}
+	pend := make(map[Key]*pending)
+	var batch []Spec
+	plan := func(sp Spec) {
+		k := e.Key(sp)
+		if pend[k] != nil {
+			return // duplicate within the grid: one dispatch, others join
+		}
+		if _, ok := e.cache.Get(k); ok {
+			return // already cached: the runner will Hit
+		}
+		pend[k] = &pending{done: make(chan struct{})}
+		batch = append(batch, sp)
+	}
+	for _, sp := range specs {
+		if e.Validate(sp) != nil {
+			continue // fails fast in its own runner, nothing to dispatch
+		}
+		plan(sp)
+		if normalize {
+			plan(e.BaselineSpec(sp))
+		}
+	}
+	if len(batch) > 0 {
+		go e.batch.RunSpecs(ctx, batch, func(i int, res sim.MEMSpotResult, info RunInfo, err error) {
+			p := pend[e.Key(batch[i])]
+			p.res, p.info, p.err = res, info, err
+			close(p.done)
+		})
+	}
+	return func(ctx context.Context, spec Spec) (sim.MEMSpotResult, RunInfo, error) {
+		if err := e.Validate(spec); err != nil {
+			return sim.MEMSpotResult{}, RunInfo{}, err
+		}
+		k := e.Key(spec)
+		var served RunInfo
+		res, out, err := e.cache.DoTraced(ctx, k, func(bctx context.Context) (sim.MEMSpotResult, error) {
+			p := pend[k]
+			if p == nil {
+				// Not planned (cached at plan time, yet we are the leader —
+				// a concurrent engine user raced us): dispatch the one spec
+				// exactly like RunDetailed would.
+				r, info, err := e.backend.RunSpec(bctx, spec)
+				served = info
+				return r, err
+			}
+			select {
+			case <-p.done:
+			case <-bctx.Done():
+				return sim.MEMSpotResult{}, bctx.Err()
+			}
+			if p.err != nil {
+				if errors.Is(p.err, ErrRunLocal) {
+					served = RunInfo{Outcome: Built, Peer: localPeer}
+					return e.Exec(bctx, spec)
+				}
+				return sim.MEMSpotResult{}, p.err
+			}
+			served = p.info
+			return p.res, nil
+		})
+		info := RunInfo{Outcome: out}
+		if out == Built {
+			info = served
+		}
+		return res, info, err
+	}
 }
 
 // Table aggregates the sweep into a report table with one row per mix
