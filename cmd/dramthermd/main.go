@@ -12,6 +12,8 @@
 //	dramthermd -job-ttl 1h -max-jobs 4096
 //	dramthermd -peers http://w1:8080,http://w2:8080   # cluster coordinator
 //	dramthermd -peers @/etc/dramtherm/peers            # one URL per line
+//	dramthermd -gossip -peers http://w1:8080 -advertise http://coord:8080
+//	dramthermd -gossip -join http://coord:8080 -advertise http://w3:8080
 //
 // With -peers the node coordinates a cluster: runs are fanned out to the
 // listed dramthermd workers by consistent hashing on the canonical spec
@@ -24,9 +26,23 @@
 // spec; -batch=false reverts to one /v1/exec per spec. Any node can be a
 // coordinator; workers need no flags at all. See docs/ARCHITECTURE.md.
 //
+// With -gossip the membership is epidemic instead of static: the node
+// keeps a versioned membership table (id, url, incarnation,
+// alive/suspect/dead) and anti-entropy syncs it with a few random
+// members per interval over POST /v1/gossip, so workers join and leave
+// a running cluster without a coordinator restart. -peers becomes the
+// seed list (and the coordinator's initial ring); a worker joins an
+// existing cluster with -join <seed-url> and needs no restart of
+// anything else. Ring-probe ejections feed the table as suspicions; a
+// falsely suspected node refutes by bumping its incarnation, and
+// confirmed-dead members are quarantined, then forgotten. Without
+// -gossip the static -peers list behaves exactly as before (legacy
+// mode).
+//
 // Endpoints:
 //
-//	GET    /v1/healthz           version, uptime, run-cache statistics, peer ring
+//	GET    /v1/healthz           version, uptime, run-cache statistics, peer ring, membership
+//	POST   /v1/gossip            anti-entropy membership exchange (with -gossip)
 //	POST   /v1/exec              synchronous single-run execution (cluster dispatch)
 //	POST   /v1/exec/batch        shard execution: specs in, streamed NDJSON outcomes out
 //	POST   /v1/runs              async submit: {"mix":"W1","policy":"DTM-ACG"} → {"id":"run-1"}
@@ -54,6 +70,7 @@ import (
 	"os/signal"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -61,10 +78,11 @@ import (
 	"dramtherm/internal/httpapi"
 	"dramtherm/internal/sweep"
 	"dramtherm/internal/sweep/remote"
+	"dramtherm/internal/sweep/remote/gossip"
 )
 
 // version is reported by GET /v1/healthz.
-const version = "0.4.0"
+const version = "0.5.0"
 
 // parsePeers expands the -peers flag: either a comma-separated list of
 // entries or @path naming a file with one entry per line (blank lines
@@ -102,6 +120,35 @@ func parsePeers(arg string) ([]remote.Peer, error) {
 	return out, nil
 }
 
+// seedMembers converts configured peers into gossip seed members,
+// deriving ids through remote.DeriveID so the ring and gossip layers
+// agree on member identity.
+func seedMembers(peers []remote.Peer) []gossip.Member {
+	out := make([]gossip.Member, 0, len(peers))
+	for _, p := range peers {
+		url := strings.TrimRight(p.URL, "/")
+		id := p.ID
+		if id == "" {
+			id = remote.DeriveID(url)
+		}
+		out = append(out, gossip.Member{ID: id, URL: url})
+	}
+	return out
+}
+
+// advertiseURL resolves the base URL other members reach this node at:
+// the -advertise flag when given, otherwise a loopback guess from -addr
+// (good enough for single-host clusters and demos).
+func advertiseURL(advertise, addr string) string {
+	if advertise != "" {
+		return strings.TrimRight(advertise, "/")
+	}
+	if strings.HasPrefix(addr, ":") {
+		return "http://127.0.0.1" + addr
+	}
+	return "http://" + addr
+}
+
 func main() {
 	var (
 		addr     = flag.String("addr", ":8080", "listen address")
@@ -115,6 +162,12 @@ func main() {
 		probe    = flag.Duration("peer-probe", 5*time.Second, "peer health-probe period (<=0 disables active probing)")
 		perPeer  = flag.Int("peer-conns", 4, "max concurrent requests per peer")
 		batch    = flag.Bool("batch", true, "with -peers: dispatch each peer its whole sweep shard in one /v1/exec/batch request (false = one /v1/exec per spec)")
+
+		gossipOn  = flag.Bool("gossip", false, "epidemic membership: gossip the peer table over POST /v1/gossip so workers join/leave without coordinator restarts (-peers becomes the seed list)")
+		join      = flag.String("join", "", "with -gossip: seed member URLs (optionally id=url, or @file) to join an existing cluster through, without coordinating")
+		advertise = flag.String("advertise", "", "with -gossip: base URL other members reach this node at (default http://127.0.0.1<addr>)")
+		nodeID    = flag.String("id", "", "with -gossip: stable member id (default derived from the advertised URL)")
+		gossipInt = flag.Duration("gossip-interval", time.Second, "gossip round period")
 	)
 	flag.Parse()
 
@@ -131,6 +184,16 @@ func main() {
 		var err error
 		if peerList, err = parsePeers(*peers); err != nil {
 			log.Fatalf("-peers: %v", err)
+		}
+	}
+	var joinList []remote.Peer
+	if *join != "" {
+		if !*gossipOn {
+			log.Fatalf("-join requires -gossip")
+		}
+		var err error
+		if joinList, err = parsePeers(*join); err != nil {
+			log.Fatalf("-join: %v", err)
 		}
 	}
 	poolWidth := *workers
@@ -159,20 +222,41 @@ func main() {
 		apiCfg.JobTTL = -1 // flag convention: 0 disables; Config uses <0 for that
 	}
 
+	// gnode late-binds the gossip node into the backend's detector
+	// callbacks: the backend must exist before the node (the node's
+	// membership deltas drive SetMembers), so the callbacks may fire
+	// before the node is stored.
+	var gnode atomic.Pointer[gossip.Node]
+	var backend *remote.Backend
 	if len(peerList) > 0 {
 		probeEvery := *probe
 		if probeEvery <= 0 {
 			probeEvery = -1 // flag convention: 0 disables; Config uses <0 for that
 		}
-		backend, err := remote.New(remote.Config{
+		bcfg := remote.Config{
 			Peers:      peerList,
 			Key:        eng.Key,
 			Local:      eng.Exec,
 			MaxPerPeer: *perPeer,
 			ProbeEvery: probeEvery,
 			Logf:       log.Printf,
-		})
-		if err != nil {
+		}
+		if *gossipOn {
+			// Ring-probe ejections are the local failure detector behind
+			// gossip suspicion; probe-confirmed recoveries clear it.
+			bcfg.OnPeerDown = func(id string, err error) {
+				if n := gnode.Load(); n != nil {
+					n.Suspect(id)
+				}
+			}
+			bcfg.OnPeerUp = func(id string) {
+				if n := gnode.Load(); n != nil {
+					n.Alive(id)
+				}
+			}
+		}
+		var err error
+		if backend, err = remote.New(bcfg); err != nil {
 			log.Fatalf("-peers: %v", err)
 		}
 		defer backend.Close()
@@ -183,6 +267,40 @@ func main() {
 		}
 		apiCfg.ClusterStatus = func() any { return backend.Status() }
 		log.Printf("cluster mode: coordinating %d peer(s) (batch=%v)", len(peerList), *batch)
+	}
+
+	if *gossipOn {
+		self := gossip.Member{ID: *nodeID, URL: advertiseURL(*advertise, *addr)}
+		if self.ID == "" {
+			self.ID = remote.DeriveID(self.URL)
+		}
+		gcfg := gossip.Config{
+			Self:     self,
+			Seeds:    seedMembers(append(append([]remote.Peer(nil), peerList...), joinList...)),
+			Interval: *gossipInt,
+			Logf:     log.Printf,
+		}
+		if backend != nil {
+			selfID := self.ID
+			gcfg.OnChange = func(ms []gossip.Member) {
+				var ring []remote.Peer
+				for _, m := range ms {
+					if m.ID != selfID && m.State != gossip.Dead && m.URL != "" {
+						ring = append(ring, remote.Peer{ID: m.ID, URL: m.URL})
+					}
+				}
+				backend.SetMembers(ring)
+			}
+		}
+		node, err := gossip.NewNode(gcfg)
+		if err != nil {
+			log.Fatalf("-gossip: %v", err)
+		}
+		defer node.Close()
+		gnode.Store(node)
+		apiCfg.Gossip = node
+		log.Printf("gossip mode: member %s at %s, %d seed(s), interval %s",
+			self.ID, self.URL, len(gcfg.Seeds), *gossipInt)
 	}
 
 	api := httpapi.New(ctx, eng, apiCfg)

@@ -11,6 +11,15 @@
 // unacknowledged shard re-plans onto the survivor or runs locally) — and
 // asserts the table still comes out byte-identical.
 //
+// Finally (batched mode only) it proves gossip-based membership under
+// churn: every node runs a gossip.Node, a third worker joins the
+// running cluster mid-sweep through a seed member, the coordinator's
+// ring re-forms from the membership delta without any restart, one of
+// the original workers is killed, and the dead worker's shard re-plans
+// across the survivor AND the newly joined worker — per-endpoint
+// request counts prove the joiner served batch shards, and the report
+// table still comes out byte-identical to the single-node run.
+//
 // Usage:
 //
 //	go run ./examples/clusterdtm
@@ -24,6 +33,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"net/http/httptest"
@@ -31,12 +41,14 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dramtherm/internal/core"
 	"dramtherm/internal/fbconfig"
 	"dramtherm/internal/httpapi"
 	"dramtherm/internal/sweep"
 	"dramtherm/internal/sweep/remote"
+	"dramtherm/internal/sweep/remote/gossip"
 )
 
 var (
@@ -66,26 +78,69 @@ func newEngine() *sweep.Engine {
 
 // worker is one embedded dramthermd: engine + wire layer + listener,
 // with per-endpoint request counters so the demo can prove how many
-// round trips a sweep cost.
+// round trips a sweep cost. In the gossip scenario it also runs a
+// gossip.Node, and the designated victim's batch endpoint can be gated
+// (requests accepted but never answered) so the kill deterministically
+// leaves a whole unacknowledged shard to fail over.
 type worker struct {
 	ts      *httptest.Server
-	api     *httpapi.Server
+	api     atomic.Pointer[httpapi.Server] // late-bound: the listener must exist first for the gossip self-URL
+	node    *gossip.Node
+	gated   atomic.Bool
 	execs   atomic.Int64 // POST /v1/exec (spec-at-a-time dispatch)
 	batches atomic.Int64 // POST /v1/exec/batch (one whole shard)
 	once    sync.Once
 }
 
-func startWorker() *worker {
-	w := &worker{api: httpapi.New(context.Background(), newEngine(), httpapi.Config{})}
+// gossipTimings are the demo's fast-convergence knobs: rounds every
+// 10ms, unrefuted suspicions die after 150ms, the dead stay quarantined
+// past the demo's lifetime.
+func gossipTimings(cfg *gossip.Config) {
+	cfg.Interval = 10 * time.Millisecond
+	cfg.SuspectAfter = 150 * time.Millisecond
+	cfg.Quarantine = time.Minute
+}
+
+// startWorker brings up one embedded dramthermd. With an id it also
+// joins the gossip plane: the worker serves POST /v1/gossip and
+// anti-entropy syncs its membership table through the seed members.
+func startWorker(id string, seeds ...gossip.Member) *worker {
+	w := &worker{}
 	w.ts = httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
 		switch r.URL.Path {
 		case remote.ExecPath:
 			w.execs.Add(1)
 		case remote.BatchPath:
 			w.batches.Add(1)
+			if w.gated.Load() {
+				// The victim accepts the shard and sits on it until the
+				// kill severs the connection. The body must be drained
+				// first: net/http only watches for disconnects (and
+				// cancels r.Context) once the request body hits EOF.
+				io.Copy(io.Discard, r.Body) //nolint:errcheck
+				<-r.Context().Done()
+				return
+			}
 		}
-		w.api.ServeHTTP(rw, r)
+		api := w.api.Load()
+		if api == nil {
+			http.Error(rw, "starting", http.StatusServiceUnavailable)
+			return
+		}
+		api.ServeHTTP(rw, r)
 	}))
+	cfg := httpapi.Config{}
+	if id != "" {
+		gcfg := gossip.Config{Self: gossip.Member{ID: id, URL: w.ts.URL}, Seeds: seeds}
+		gossipTimings(&gcfg)
+		node, err := gossip.NewNode(gcfg)
+		if err != nil {
+			log.Fatalf("gossip node %s: %v", id, err)
+		}
+		w.node = node
+		cfg.Gossip = node
+	}
+	w.api.Store(httpapi.New(context.Background(), newEngine(), cfg))
 	return w
 }
 
@@ -95,9 +150,12 @@ func startWorker() *worker {
 // peer looks like.
 func (w *worker) kill() {
 	w.once.Do(func() {
+		if w.node != nil {
+			w.node.Close()
+		}
 		w.ts.CloseClientConnections()
 		w.ts.Close()
-		w.api.Close()
+		w.api.Load().Close()
 	})
 }
 
@@ -107,7 +165,7 @@ func (w *worker) kill() {
 // rendered report table, how many specs each peer served, and the
 // per-endpoint request totals across both workers.
 func clusterSweep(specs []sweep.Spec, killVictim bool) (table string, served map[string]int, execs, batches int64) {
-	w1, w2 := startWorker(), startWorker()
+	w1, w2 := startWorker(""), startWorker("")
 	defer w1.kill()
 	defer w2.kill()
 	workers := map[string]*worker{"worker-1": w1, "worker-2": w2}
@@ -173,6 +231,154 @@ func clusterSweep(specs []sweep.Spec, killVictim bool) (table string, served map
 	execs = w1.execs.Load() + w2.execs.Load()
 	batches = w1.batches.Load() + w2.batches.Load()
 	return res.Table("cluster sweep").String(), served, execs, batches
+}
+
+// ringHas reports whether the backend's membership currently includes
+// the peer id.
+func ringHas(b *remote.Backend, id string) bool {
+	for _, p := range b.Status() {
+		if p.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// gossipSweep runs specs through a gossiping cluster under churn. Every
+// node runs a gossip.Node: two workers seed off each other, the
+// coordinator (an observer member with no inbound server) seeds off
+// both and re-forms its ring from membership deltas. The worker owning
+// the first spec's shard is gated — it accepts its batch request and
+// never answers — so the sweep stalls on it while a third worker joins
+// the running cluster through a seed member. Once the coordinator's
+// ring includes the joiner, the gated worker is killed: its whole
+// unacknowledged shard re-plans across the survivor AND worker-3, with
+// zero coordinator restarts. Returns the report table, who served what,
+// and the joiner's batch-request count (the proof it took real shards).
+func gossipSweep(specs []sweep.Spec) (table string, served map[string]int, joinerBatches int64) {
+	w1 := startWorker("worker-1")
+	w2 := startWorker("worker-2", gossip.Member{ID: "worker-1", URL: w1.ts.URL})
+	defer w1.kill()
+	defer w2.kill()
+	workers := map[string]*worker{"worker-1": w1, "worker-2": w2}
+
+	coord := newEngine()
+	// The backend exists before the gossip node (membership deltas drive
+	// SetMembers), so the detector callback late-binds the node.
+	var gnode atomic.Pointer[gossip.Node]
+	backend, err := remote.New(remote.Config{
+		Peers: []remote.Peer{
+			{ID: "worker-1", URL: w1.ts.URL},
+			{ID: "worker-2", URL: w2.ts.URL},
+		},
+		Key:        coord.Key,
+		Local:      coord.Exec,
+		ProbeEvery: -1, // gossip is the membership channel; dispatch failures are the detector
+		OnPeerDown: func(id string, err error) {
+			if n := gnode.Load(); n != nil {
+				n.Suspect(id)
+			}
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer backend.Close()
+	gcfg := gossip.Config{
+		Self: gossip.Member{ID: "coordinator"}, // observer: initiates exchanges, serves none
+		Seeds: []gossip.Member{
+			{ID: "worker-1", URL: w1.ts.URL},
+			{ID: "worker-2", URL: w2.ts.URL},
+		},
+		OnChange: func(ms []gossip.Member) {
+			var ring []remote.Peer
+			for _, m := range ms {
+				if m.ID != "coordinator" && m.State != gossip.Dead && m.URL != "" {
+					ring = append(ring, remote.Peer{ID: m.ID, URL: m.URL})
+				}
+			}
+			backend.SetMembers(ring)
+		},
+	}
+	gossipTimings(&gcfg)
+	node, err := gossip.NewNode(gcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer node.Close()
+	gnode.Store(node)
+	coord.SetBatchBackend(backend)
+
+	victim := backend.OwnerOf(specs[0])
+	survivor := "worker-2"
+	if victim == survivor {
+		survivor = "worker-1"
+	}
+	workers[victim].gated.Store(true)
+
+	// Churn, triggered by the sweep's first started event: join worker-3
+	// through the survivor seed, wait for the coordinator's ring to
+	// re-form around it, then kill the gated victim so its whole shard
+	// fails over onto the post-join ring.
+	started := make(chan struct{})
+	var startOnce sync.Once
+	var w3 *worker
+	churned := make(chan struct{})
+	go func() {
+		defer close(churned)
+		<-started
+		w3 = startWorker("worker-3", gossip.Member{ID: survivor, URL: workers[survivor].ts.URL})
+		deadline := time.Now().Add(30 * time.Second)
+		for !ringHas(backend, "worker-3") {
+			if time.Now().After(deadline) {
+				log.Fatal("worker-3 never reached the coordinator's ring")
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		fmt.Printf("  ⇄ worker-3 joined the ring mid-sweep (gossiped through %s)\n", survivor)
+		workers[victim].kill()
+		fmt.Printf("  ✂ killed %s mid-sweep (owner of %s)\n", victim, specs[0])
+	}()
+
+	var mu sync.Mutex
+	served = map[string]int{}
+	res, err := coord.Sweep(context.Background(), specs, sweep.Options{
+		OnEvent: func(ev sweep.Event) {
+			switch ev.Kind {
+			case sweep.EventStarted:
+				startOnce.Do(func() { close(started) })
+			case sweep.EventFinished:
+				peer := ev.Peer
+				if peer == "" {
+					peer = "coordinator-cache"
+				}
+				mu.Lock()
+				served[peer]++
+				mu.Unlock()
+				fmt.Printf("  ✓ [%2d/%2d] %-28s %6.0f s  (%s on %s)\n",
+					ev.Done, ev.Total, ev.Spec, ev.Seconds, ev.Outcome, peer)
+			}
+		},
+	})
+	if err != nil {
+		log.Fatalf("gossip sweep: %v", err)
+	}
+	<-churned
+	defer w3.kill()
+
+	// The dead worker must also leave the membership — suspicion from
+	// the failed dispatch, confirmed dead by timeout, evicted from the
+	// ring by the gossip delta, all without restarting anything.
+	deadline := time.Now().Add(10 * time.Second)
+	for ringHas(backend, victim) {
+		if time.Now().After(deadline) {
+			log.Fatalf("dead %s never left the coordinator's ring", victim)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	fmt.Printf("  ⇄ dead %s gossiped out of the ring (membership now %d workers)\n",
+		victim, len(backend.Status()))
+	return res.Table("cluster sweep").String(), served, w3.batches.Load()
 }
 
 // livePeersServing counts distinct worker peers in a served map (the
@@ -244,6 +450,24 @@ func main() {
 			refTable, failTable)
 	}
 	fmt.Println("  ✓ report table byte-identical despite the dead worker")
+
+	if *batch {
+		// Gossip membership under churn: join mid-sweep, kill mid-sweep.
+		fmt.Println("\ngossip cluster sweep: worker-3 joins mid-sweep, one worker killed:")
+		gossipTable, served, joinerBatches := gossipSweep(specs)
+		fmt.Printf("  shard distribution after churn: %v\n", served)
+		if gossipTable != refTable {
+			log.Fatalf("gossip-churn table differs from single-node table:\n--- local ---\n%s--- gossip ---\n%s",
+				refTable, gossipTable)
+		}
+		fmt.Println("  ✓ report table byte-identical through join + kill, zero coordinator restarts")
+		if joinerBatches == 0 || served["worker-3"] == 0 {
+			log.Fatalf("worker-3 served %d batch requests / %d specs, want it visibly serving shards",
+				joinerBatches, served["worker-3"])
+		}
+		fmt.Printf("  ✓ mid-sweep joiner worker-3 served %d batch shard(s), %d spec(s)\n",
+			joinerBatches, served["worker-3"])
+	}
 
 	if *tableOut != "" {
 		if err := os.WriteFile(*tableOut, []byte(clusterTable), 0o644); err != nil {

@@ -13,6 +13,7 @@ import (
 	"dramtherm/internal/sim"
 	"dramtherm/internal/sweep"
 	"dramtherm/internal/sweep/remote"
+	"dramtherm/internal/sweep/remote/gossip"
 )
 
 // Config tunes a Server. The zero value selects the defaults.
@@ -35,6 +36,11 @@ type Config struct {
 	// of the healthz body — cluster-mode dramthermd passes the remote
 	// backend's Status method here.
 	ClusterStatus func() any
+	// Gossip, when non-nil, serves POST /v1/gossip exchanges against
+	// this node and adds its membership table to the healthz body —
+	// gossip-mode dramthermd passes its gossip.Node here. When nil the
+	// endpoint answers 404.
+	Gossip *gossip.Node
 }
 
 // DefaultMaxBatch is the default bound on specs per batch request —
@@ -51,6 +57,7 @@ type Server struct {
 	logf      func(format string, v ...any)
 	version   string
 	cluster   func() any
+	gossip    *gossip.Node
 	started   time.Time
 
 	// base is the lifetime context of asynchronous jobs; cancelling it
@@ -85,10 +92,12 @@ func New(base context.Context, eng *sweep.Engine, cfg Config) *Server {
 		logf:      cfg.Logf,
 		version:   cfg.Version,
 		cluster:   cfg.ClusterStatus,
+		gossip:    cfg.Gossip,
 		started:   time.Now(),
 		base:      base,
 	}
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("POST "+gossip.Path, s.handleGossip)
 	s.mux.HandleFunc("POST /v1/runs", s.handleSubmitRun)
 	s.mux.HandleFunc("POST /v1/exec", s.handleExec)
 	s.mux.HandleFunc("POST /v1/exec/batch", s.handleExecBatch)
@@ -180,6 +189,9 @@ type healthzResponse struct {
 	Jobs          int         `json:"jobs"`
 	Cache         sweep.Stats `json:"cache"`
 	Peers         any         `json:"peers,omitempty"` // []remote.PeerStatus when clustered
+	// Membership is this node's gossip view of the cluster (id, url,
+	// incarnation, alive/suspect/dead), present only in gossip mode.
+	Membership []gossip.Member `json:"membership,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -194,7 +206,30 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.cluster != nil {
 		out.Peers = s.cluster()
 	}
+	if s.gossip != nil {
+		out.Membership = s.gossip.Members()
+	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// handleGossip serves the receiving half of an anti-entropy exchange:
+// merge the caller's membership table, answer with ours. Malformed
+// payloads are rejected whole (400) before they can touch the table.
+func (s *Server) handleGossip(w http.ResponseWriter, r *http.Request) {
+	if s.gossip == nil {
+		writeClientErr(w, http.StatusNotFound, fmt.Errorf("gossip is not enabled on this node"))
+		return
+	}
+	var msg gossip.Message
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20)).Decode(&msg); err != nil {
+		writeClientErr(w, http.StatusBadRequest, fmt.Errorf("decoding gossip message: %w", err))
+		return
+	}
+	if len(msg.Members) > gossip.MaxMembers {
+		writeClientErr(w, http.StatusBadRequest, fmt.Errorf("gossip message has %d members (max %d)", len(msg.Members), gossip.MaxMembers))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.gossip.HandleExchange(msg))
 }
 
 // handleExec runs one spec synchronously and returns the full result

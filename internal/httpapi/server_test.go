@@ -18,6 +18,7 @@ import (
 	"dramtherm/internal/sim"
 	"dramtherm/internal/sweep"
 	"dramtherm/internal/sweep/remote"
+	"dramtherm/internal/sweep/remote/gossip"
 )
 
 // newTestServer backs the API with a counting fake run function so API
@@ -749,5 +750,90 @@ func TestSweepRealTiny(t *testing.T) {
 	if out.Results[1].Summary.Seconds < out.Results[0].Summary.Seconds {
 		t.Fatalf("DTM-TS (%v s) ran faster than No-limit (%v s)",
 			out.Results[1].Summary.Seconds, out.Results[0].Summary.Seconds)
+	}
+}
+
+// TestGossipEndpointDisabled: without a gossip node the exchange
+// endpoint answers 404 and healthz carries no membership table.
+func TestGossipEndpointDisabled(t *testing.T) {
+	ts, _, _ := newTestServer(t, 1, 0, Config{})
+	resp := postJSON(t, ts.URL+gossip.Path, gossip.Message{From: "x"})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("gossip on a non-gossip node: status %d, want 404", resp.StatusCode)
+	}
+	resp.Body.Close()
+	h := decode[map[string]any](t, doReq(t, http.MethodGet, ts.URL+"/v1/healthz"))
+	if _, ok := h["membership"]; ok {
+		t.Fatalf("non-gossip healthz reports membership: %v", h)
+	}
+}
+
+// TestGossipExchange: a valid exchange merges the caller's members and
+// answers with this node's table; the merged member then shows up in
+// the healthz membership.
+func TestGossipExchange(t *testing.T) {
+	node, err := gossip.NewNode(gossip.Config{
+		Self:     gossip.Member{ID: "self", URL: "http://self"},
+		Interval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(node.Close)
+	ts, _, _ := newTestServer(t, 1, 0, Config{Gossip: node})
+
+	resp := postJSON(t, ts.URL+gossip.Path, gossip.Message{
+		From:    "w1",
+		Members: []gossip.Member{{ID: "w1", URL: "http://w1", Incarnation: 3}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("gossip exchange status %d", resp.StatusCode)
+	}
+	reply := decode[gossip.Message](t, resp)
+	if reply.From != "self" || len(reply.Members) != 2 {
+		t.Fatalf("gossip reply = %+v, want from=self with self+w1", reply)
+	}
+
+	h := decode[map[string]any](t, doReq(t, http.MethodGet, ts.URL+"/v1/healthz"))
+	membership, ok := h["membership"].([]any)
+	if !ok || len(membership) != 2 {
+		t.Fatalf("gossip healthz membership = %v, want 2 rows", h["membership"])
+	}
+}
+
+// TestGossipExchangeRejectsMalformed: garbage and over-limit payloads
+// get a 400 and never touch the membership table.
+func TestGossipExchangeRejectsMalformed(t *testing.T) {
+	node, err := gossip.NewNode(gossip.Config{
+		Self:     gossip.Member{ID: "self", URL: "http://self"},
+		Interval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(node.Close)
+	ts, _, _ := newTestServer(t, 1, 0, Config{Gossip: node})
+
+	for _, body := range []string{`{"members":`, `[]`, `{"members":[{"id":"x","state":"zombie"}]}`} {
+		resp, err := http.Post(ts.URL+gossip.Path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("malformed gossip body %q: status %d, want 400", body, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	oversized := gossip.Message{From: "x", Members: make([]gossip.Member, gossip.MaxMembers+1)}
+	for i := range oversized.Members {
+		oversized.Members[i] = gossip.Member{ID: fmt.Sprintf("m%d", i)}
+	}
+	resp := postJSON(t, ts.URL+gossip.Path, oversized)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized gossip body: status %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+	if got := len(node.Members()); got != 1 {
+		t.Fatalf("rejected payloads mutated the table: %d members, want just self", got)
 	}
 }

@@ -1,0 +1,106 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"unicode/utf8"
+
+	"dramtherm/internal/fbconfig"
+)
+
+// FuzzSpecKey asserts the two identities the whole cluster leans on:
+// the canonical cache key survives a round trip through the /v1/exec
+// JSON codec (what a coordinator sends is what a worker keys), and it
+// is invariant under JSON field permutation (two clients serializing
+// the same spec in different field orders shard to the same ring
+// owner). A key that drifted across the wire would split the run cache
+// and misroute consistent-hash shards.
+func FuzzSpecKey(f *testing.F) {
+	f.Add("W1", "DTM-TS", "AOHS_1.5", "isolated", 0.0, 0.0, 0.0)
+	f.Add("W2", "", "", "", 0.35, 2.0, 103.5)
+	f.Add("W12", "No-limit", "AOHS_2.0", "integrated", -1.5, 1e300, 85.0)
+	f.Add("", "", "", "", math.Inf(1), -0.0, 5e-324)
+	f.Add("mix|with|separators", "p=q", "c,d", "m\"n", 1.0, 2.0, 3.0)
+	f.Add("Ω-mix", "污", "\n\t", "\\", 0.1, 0.2, 0.3)
+	f.Fuzz(func(t *testing.T, mix, policy, cooling, model string, psiXi, interval, ambtdp float64) {
+		// JSON cannot carry NaN, and replaces invalid UTF-8 with
+		// U+FFFD at encode time; normalize the inputs the same way so
+		// the round trip is comparable.
+		if math.IsNaN(psiXi) || math.IsNaN(interval) || math.IsNaN(ambtdp) {
+			t.Skip("NaN is not encodable as JSON")
+		}
+		valid := func(s string) string { return strings.ToValidUTF8(s, string(utf8.RuneError)) }
+		spec := Spec{
+			Mix:      valid(mix),
+			Policy:   valid(policy),
+			Cooling:  valid(cooling),
+			Model:    valid(model),
+			PsiXi:    psiXi,
+			Interval: interval,
+			Limits:   fbconfig.ThermalLimits{AMBTDP: ambtdp, DRAMTDP: ambtdp, AMBTRP: ambtdp, DRAMTRP: ambtdp},
+		}
+		const digest = "fuzz-digest"
+		key := spec.Key(digest)
+
+		// Round trip through the /v1/exec codec: marshal as the
+		// coordinator does, decode as the worker does.
+		body, err := json.Marshal(spec)
+		if err != nil {
+			t.Skipf("unencodable spec: %v", err)
+		}
+		var decoded Spec
+		if err := json.NewDecoder(bytes.NewReader(body)).Decode(&decoded); err != nil {
+			t.Fatalf("spec %+v does not survive its own codec: %v", spec, err)
+		}
+		if got := decoded.Key(digest); got != key {
+			t.Fatalf("key drifted across the exec codec:\nspec    %+v\nbefore  %s\nafter   %s", spec, key, got)
+		}
+
+		// Field permutation: rebuild the same JSON object with its
+		// fields in reverse order; the decoded key must not care.
+		var fields map[string]json.RawMessage
+		if err := json.Unmarshal(body, &fields); err != nil {
+			t.Fatalf("re-parsing own marshal output: %v", err)
+		}
+		names := make([]string, 0, len(fields))
+		for name := range fields {
+			names = append(names, name)
+		}
+		// Reverse of Go's map-iteration order is already adversarial,
+		// but make it deterministic: sort descending.
+		for i := 0; i < len(names); i++ {
+			for j := i + 1; j < len(names); j++ {
+				if names[j] > names[i] {
+					names[i], names[j] = names[j], names[i]
+				}
+			}
+		}
+		var permuted bytes.Buffer
+		permuted.WriteByte('{')
+		for i, name := range names {
+			if i > 0 {
+				permuted.WriteByte(',')
+			}
+			fmt.Fprintf(&permuted, "%q:%s", name, fields[name])
+		}
+		permuted.WriteByte('}')
+		var reordered Spec
+		if err := json.Unmarshal(permuted.Bytes(), &reordered); err != nil {
+			t.Fatalf("permuted body %s does not decode: %v", permuted.Bytes(), err)
+		}
+		if got := reordered.Key(digest); got != key {
+			t.Fatalf("key depends on JSON field order:\noriginal %s\npermuted %s\nbody %s", key, got, permuted.Bytes())
+		}
+
+		// The key must also be insensitive to explicit defaults: a
+		// spec with defaults filled in and one with them zeroed are
+		// the same run.
+		if got := spec.normalize().Key(digest); got != key {
+			t.Fatalf("normalized spec keys differently:\nzeroed     %s\nnormalized %s", key, got)
+		}
+	})
+}

@@ -60,14 +60,14 @@ type Shard struct {
 func (b *Backend) PlanShards(specs []sweep.Spec) []Shard {
 	b.readmitExpired()
 	b.mu.RLock()
-	ring := b.ring
+	ring, ringPeers := b.ring, b.ringPeers
 	b.mu.RUnlock()
 	byPeer := make(map[string]int)
 	var out []Shard
 	for i, sp := range specs {
 		owner := ""
 		if c := ring.candidates(string(b.cfg.Key(sp))); len(c) > 0 {
-			owner = b.peers[c[0]].id
+			owner = ringPeers[c[0]].id
 		}
 		j, ok := byPeer[owner]
 		if !ok {
@@ -105,9 +105,14 @@ func (b *Backend) RunSpecs(ctx context.Context, specs []sweep.Spec, deliver func
 	for i := range all {
 		all[i] = i
 	}
-	// Each failover round ejects at least one peer, so after a round per
-	// configured peer only local execution is left.
-	b.runBatch(ctx, specs, all, once, len(b.peers))
+	// Each failover round ejects at least one peer. Membership can grow
+	// mid-sweep (gossip joins), so budget generously: a round per member
+	// at dispatch time plus slack, after which only local execution is
+	// left.
+	b.mu.RLock()
+	budget := len(b.peers) + 2
+	b.mu.RUnlock()
+	b.runBatch(ctx, specs, all, once, budget)
 }
 
 // runBatch plans idxs onto the current ring and dispatches one request
@@ -135,6 +140,16 @@ func (b *Backend) runBatch(ctx context.Context, specs []sweep.Spec, idxs []int, 
 			continue
 		}
 		p := b.peerByID(sh.Peer)
+		if p == nil {
+			// The owner left the membership between planning and dispatch:
+			// re-plan its shard on the current ring.
+			wg.Add(1)
+			go func(mapped []int) {
+				defer wg.Done()
+				b.runBatch(ctx, specs, mapped, deliver, budget-1)
+			}(mapped)
+			continue
+		}
 		wg.Add(1)
 		go func(p *peer, mapped []int) {
 			defer wg.Done()
@@ -153,12 +168,14 @@ func (b *Backend) runBatch(ctx context.Context, specs []sweep.Spec, idxs []int, 
 }
 
 func (b *Backend) peerByID(id string) *peer {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	for _, p := range b.peers {
 		if p.id == id {
 			return p
 		}
 	}
-	return nil // unreachable: PlanShards only names configured peers
+	return nil // the member left between planning and dispatch
 }
 
 // dispatchBatch sends p its shard in one request and delivers outcomes

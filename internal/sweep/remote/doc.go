@@ -43,4 +43,16 @@
 // loses its unacknowledged specs: they re-plan onto the surviving
 // ring, and when no peer is left they are handed back to the engine
 // with sweep.ErrRunLocal for local execution.
+//
+// # Dynamic membership
+//
+// The ring is not fixed at construction: SetMembers reconciles the
+// peer set in place — joiners enter admitted, leavers drop out (their
+// in-flight requests fail over), retained members keep their health
+// state and counters — so a membership layer can re-form the ring on
+// join/leave without restarting the coordinator. The gossip
+// subpackage (internal/sweep/remote/gossip) provides that layer:
+// Config.OnPeerDown/OnPeerUp expose the backend's probe verdicts as
+// the local failure detector gossip suspicion feeds on, and the
+// gossip node's OnChange deltas drive SetMembers.
 package remote

@@ -1,0 +1,99 @@
+package gossip
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// FuzzGossipDecode feeds arbitrary bytes through the exact path a
+// POST /v1/gossip body takes — JSON decode, bounds check, then
+// HandleExchange — and asserts the two wire-safety invariants: no
+// payload ever panics the node, and a payload rejected by decoding or
+// bounds checking never mutates the membership table. Accepted payloads
+// may change the table, but never into an invalid shape (rows without
+// ids, a lost self entry, or states outside the enum).
+func FuzzGossipDecode(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"from":"a","members":[]}`))
+	f.Add([]byte(`{"from":"a","members":[{"id":"w1","url":"http://w1:8080","incarnation":3,"state":"alive"}]}`))
+	f.Add([]byte(`{"from":"a","members":[{"id":"w2","incarnation":18446744073709551615,"state":"dead"}]}`))
+	f.Add([]byte(`{"from":"a","members":[{"id":"self","state":"suspect"}]}`))
+	f.Add([]byte(`{"from":"a","members":[{"id":"","url":"http://ghost"}]}`))
+	f.Add([]byte(`{"from":"a","members":[{"id":"w1","state":"zombie"}]}`))
+	f.Add([]byte(`{"members":[{"id":"w1","state":"alive"},{"id":"w1","state":"dead"}]}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"members": [{"id": "\\u0000", "state": "alive"}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		clk := newFakeClock()
+		tb := NewTable(Member{ID: "self", URL: "http://self"}, time.Minute, time.Hour, clk.now)
+		tb.Merge([]Member{
+			{ID: "w1", URL: "http://w1", Incarnation: 1},
+			{ID: "w2", URL: "http://w2", Incarnation: 2, State: Suspect},
+		})
+		n := &Node{cfg: Config{Self: Member{ID: "self", URL: "http://self"}}, table: tb, logf: func(string, ...any) {}}
+		before := tb.Snapshot()
+		beforeVersion := tb.Version()
+
+		// The handler's decode-and-validate, inlined.
+		var msg Message
+		err := json.Unmarshal(data, &msg)
+		if err == nil && len(msg.Members) > MaxMembers {
+			err = errNoMutation
+		}
+		if err != nil {
+			// Rejected payloads must leave the table untouched.
+			if tb.Version() != beforeVersion || !reflect.DeepEqual(before, tb.Snapshot()) {
+				t.Fatalf("rejected payload %q mutated the table:\nbefore %v\nafter  %v", data, before, tb.Snapshot())
+			}
+			return
+		}
+
+		reply := n.HandleExchange(msg)
+		if reply.From != "self" {
+			t.Fatalf("reply.From = %q, want self", reply.From)
+		}
+		checkInvariants(t, reply.Members)
+		checkInvariants(t, tb.Snapshot())
+	})
+}
+
+// errNoMutation marks the bounds-check rejection in the fuzz harness.
+var errNoMutation = jsonError("too many members")
+
+type jsonError string
+
+func (e jsonError) Error() string { return string(e) }
+
+// checkInvariants asserts a snapshot is shaped like a table the rest of
+// the system can consume, whatever garbage was merged into it.
+func checkInvariants(t *testing.T, ms []Member) {
+	t.Helper()
+	seen := make(map[string]bool, len(ms))
+	self := false
+	for i, m := range ms {
+		if m.ID == "" {
+			t.Fatalf("snapshot row %d has an empty id: %+v", i, m)
+		}
+		if seen[m.ID] {
+			t.Fatalf("snapshot has duplicate rows for %q", m.ID)
+		}
+		seen[m.ID] = true
+		if m.State > Dead {
+			t.Fatalf("snapshot row %q has out-of-enum state %d", m.ID, m.State)
+		}
+		if i > 0 && ms[i-1].ID > m.ID {
+			t.Fatalf("snapshot is not sorted at row %d: %q > %q", i, ms[i-1].ID, m.ID)
+		}
+		if m.ID == "self" {
+			self = true
+			if m.State != Alive {
+				t.Fatalf("self is %v; rumors must be refuted, not adopted", m.State)
+			}
+		}
+	}
+	if !self {
+		t.Fatal("snapshot lost the self entry")
+	}
+}

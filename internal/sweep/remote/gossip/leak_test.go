@@ -1,0 +1,61 @@
+package gossip
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestNodeCloseNoLeak: Close must stop the gossip loop even while a
+// round is blocked inside a hung transport — the round context is
+// cancelled and the loop goroutine unwinds. Repeated open/close cycles
+// must leave the goroutine count where it started.
+func TestNodeCloseNoLeak(t *testing.T) {
+	runtime.GC()
+	baseline := runtime.NumGoroutine()
+
+	for i := 0; i < 5; i++ {
+		block := make(chan struct{})
+		n, err := NewNode(Config{
+			Self:     Member{ID: "self", URL: "mesh://self"},
+			Seeds:    []Member{{ID: "a", URL: "mesh://a"}, {ID: "b", URL: "mesh://b"}},
+			Interval: time.Millisecond,
+			Transport: func(ctx context.Context, url string, msg Message) (Message, error) {
+				// A hung member: never answers until the node gives up.
+				select {
+				case <-ctx.Done():
+					return Message{}, ctx.Err()
+				case <-block:
+					return Message{}, context.Canceled
+				}
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(5 * time.Millisecond) // let a round block in the transport
+		done := make(chan struct{})
+		go func() { defer close(done); n.Close() }()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("Close wedged behind a hung transport")
+		}
+		close(block)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked across Close: %d > baseline %d\n%s",
+				runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -81,6 +81,14 @@ type Config struct {
 	Logf func(format string, v ...any)
 	// Now overrides the clock, for tests.
 	Now func() time.Time
+	// OnPeerDown, when non-nil, observes every up→down transition — the
+	// local failure-detector output a gossip membership layer feeds on
+	// (see internal/sweep/remote/gossip). Called without locks held.
+	OnPeerDown func(id string, cause error)
+	// OnPeerUp observes every probe-confirmed down→up transition.
+	// Speculative backoff-expiry readmissions do not count: they are
+	// retries, not evidence. Called without locks held.
+	OnPeerUp func(id string)
 }
 
 // Backend distributes runs across dramthermd peers by consistent
@@ -91,15 +99,17 @@ type Config struct {
 // whose peer is down or errors fails over around the ring, landing on
 // local execution when no peer is left.
 type Backend struct {
-	cfg    Config
-	client *http.Client
-	now    func() time.Time
-	logf   func(format string, v ...any)
-	peers  []*peer
+	cfg       Config
+	client    *http.Client
+	ownClient bool // we built the client, so Close may reap its idle conns
+	now       func() time.Time
+	logf      func(format string, v ...any)
 
-	mu   sync.RWMutex // guards peer state transitions and the ring pointer
-	ring *ring
-	down atomic.Int32 // ejected-peer count; lets the hot path skip readmitExpired
+	mu        sync.RWMutex // guards membership, peer state transitions and the ring pointer
+	peers     []*peer      // current membership (SetMembers rewrites it)
+	ring      *ring
+	ringPeers []*peer      // the membership snapshot ring indices point into
+	down      atomic.Int32 // ejected-peer count; lets the hot path skip readmitExpired
 
 	stop chan struct{}
 	once sync.Once
@@ -117,6 +127,7 @@ type peer struct {
 
 	// Guarded by Backend.mu.
 	up        bool
+	gone      bool // removed by SetMembers; late failures must not touch counters
 	downSince time.Time
 	downUntil time.Time
 	lastErr   string
@@ -155,6 +166,7 @@ func New(cfg Config) (*Backend, error) {
 	}
 	if b.client == nil {
 		b.client = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: cfg.MaxPerPeer}}
+		b.ownClient = true
 	}
 	if b.now == nil {
 		b.now = time.Now
@@ -164,13 +176,9 @@ func New(cfg Config) (*Backend, error) {
 	}
 	seen := make(map[string]bool, len(cfg.Peers))
 	for _, pc := range cfg.Peers {
-		url := strings.TrimRight(pc.URL, "/")
-		if url == "" {
-			return nil, fmt.Errorf("remote: peer %q has no URL", pc.ID)
-		}
-		id := pc.ID
-		if id == "" {
-			id = strings.TrimPrefix(strings.TrimPrefix(url, "http://"), "https://")
+		id, url, err := canonPeer(pc)
+		if err != nil {
+			return nil, err
 		}
 		if seen[id] {
 			return nil, fmt.Errorf("remote: duplicate peer id %q", id)
@@ -182,18 +190,100 @@ func New(cfg Config) (*Backend, error) {
 		})
 	}
 	b.rebuildLocked() // no lock needed yet: b is not shared
-	if cfg.ProbeEvery > 0 && len(b.peers) > 0 {
+	if cfg.ProbeEvery > 0 {
 		b.wg.Add(1)
 		go b.probeLoop()
 	}
 	return b, nil
 }
 
-// Close stops the background prober. In-flight dispatches are not
-// interrupted; cancel their contexts for that.
+// DeriveID is the canonical URL-to-member-id derivation: trailing
+// slashes dropped, scheme stripped. The ring and the gossip layer must
+// agree on member identity, so every layer that names a member from
+// its URL (peer configs, gossip seeds, a node's own advertised self)
+// must derive through here.
+func DeriveID(url string) string {
+	url = strings.TrimRight(url, "/")
+	return strings.TrimPrefix(strings.TrimPrefix(url, "http://"), "https://")
+}
+
+// canonPeer normalizes one configured peer: the URL loses its trailing
+// slash and an empty id is derived from the URL.
+func canonPeer(pc Peer) (id, url string, err error) {
+	url = strings.TrimRight(pc.URL, "/")
+	if url == "" {
+		return "", "", fmt.Errorf("remote: peer %q has no URL", pc.ID)
+	}
+	id = pc.ID
+	if id == "" {
+		id = DeriveID(url)
+	}
+	return id, url, nil
+}
+
+// Close stops the background prober and reaps the backend-owned HTTP
+// client's idle connections. In-flight dispatches are not interrupted;
+// cancel their contexts for that.
 func (b *Backend) Close() {
 	b.once.Do(func() { close(b.stop) })
 	b.wg.Wait()
+	if b.ownClient {
+		b.client.CloseIdleConnections()
+	}
+}
+
+// SetMembers replaces the backend's membership with peers, rebuilding
+// the ring: new members join admitted, absent members leave (their
+// in-flight requests finish, then fail over), and retained members keep
+// their health state and traffic counters. This is the seam a gossip
+// membership layer drives, so the ring re-forms on join/leave without
+// restarting the coordinator. Unusable entries (no URL) and duplicate
+// ids are skipped.
+func (b *Backend) SetMembers(peers []Peer) {
+	b.mu.Lock()
+	current := make(map[string]*peer, len(b.peers))
+	for _, p := range b.peers {
+		current[p.id] = p
+	}
+	next := make([]*peer, 0, len(peers))
+	seen := make(map[string]bool, len(peers))
+	var joined, left []string
+	for _, pc := range peers {
+		id, url, err := canonPeer(pc)
+		if err != nil || seen[id] {
+			continue
+		}
+		seen[id] = true
+		// peer.url is immutable (dispatch paths read it unlocked), so a
+		// member re-announcing at a new address is a leave plus a fresh
+		// join rather than an in-place rewrite.
+		if p, ok := current[id]; ok && p.url == url {
+			next = append(next, p)
+			delete(current, id)
+			continue
+		}
+		next = append(next, &peer{
+			id: id, url: url, up: true,
+			sem: make(chan struct{}, b.cfg.MaxPerPeer),
+		})
+		joined = append(joined, id)
+	}
+	for id, p := range current {
+		p.gone = true
+		if !p.up {
+			b.down.Add(-1) // it no longer counts toward ejected membership
+		}
+		left = append(left, id)
+	}
+	changed := len(joined) > 0 || len(left) > 0
+	if changed {
+		b.peers = next
+		b.rebuildLocked()
+	}
+	b.mu.Unlock()
+	if changed {
+		b.logf("remote: membership now %d peer(s) (+%v -%v)", len(next), joined, left)
+	}
 }
 
 func (b *Backend) probeLoop() {
@@ -214,7 +304,10 @@ func (b *Backend) probeLoop() {
 // that fail and readmitting peers that answer. The background prober
 // calls this periodically; tests call it directly.
 func (b *Backend) Probe(ctx context.Context) {
-	for _, p := range b.peers {
+	b.mu.RLock()
+	peers := append([]*peer(nil), b.peers...)
+	b.mu.RUnlock()
+	for _, p := range peers {
 		pctx, cancel := context.WithTimeout(ctx, b.cfg.ProbeTimeout)
 		req, err := http.NewRequestWithContext(pctx, http.MethodGet, p.url+HealthPath, nil)
 		if err == nil {
@@ -255,11 +348,11 @@ func (b *Backend) RunSpec(ctx context.Context, spec sweep.Spec) (sim.MEMSpotResu
 	b.readmitExpired()
 	key := string(b.cfg.Key(spec))
 	b.mu.RLock()
-	candidates := b.ring.candidates(key)
+	ring, ringPeers := b.ring, b.ringPeers
 	b.mu.RUnlock()
 	var lastErr error
-	for _, idx := range candidates {
-		p := b.peers[idx]
+	for _, idx := range ring.candidates(key) {
+		p := ringPeers[idx]
 		res, info, err := b.dispatch(ctx, p, spec)
 		if err == nil {
 			return res, info, nil
@@ -362,28 +455,40 @@ func (b *Backend) eject(p *peer, cause error) {
 	p.failures.Add(1)
 	now := b.now()
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	p.lastErr = cause.Error()
 	p.downUntil = now.Add(b.cfg.Backoff)
-	if p.up {
+	ejected := p.up
+	if ejected {
 		p.up = false
 		p.downSince = now
-		b.down.Add(1)
-		b.rebuildLocked()
+		if !p.gone {
+			b.down.Add(1)
+			b.rebuildLocked()
+		}
 		b.logf("remote: ejecting %s: %v", p.id, cause)
+	}
+	b.mu.Unlock()
+	if ejected && b.cfg.OnPeerDown != nil {
+		b.cfg.OnPeerDown(p.id, cause)
 	}
 }
 
 // readmit puts p back into the ring (a probe answered).
 func (b *Backend) readmit(p *peer) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
-	if !p.up {
+	readmitted := !p.up
+	if readmitted {
 		p.up = true
 		p.lastErr = ""
-		b.down.Add(-1)
-		b.rebuildLocked()
+		if !p.gone {
+			b.down.Add(-1)
+			b.rebuildLocked()
+		}
 		b.logf("remote: readmitting %s", p.id)
+	}
+	b.mu.Unlock()
+	if readmitted && b.cfg.OnPeerUp != nil {
+		b.cfg.OnPeerUp(p.id)
 	}
 }
 
@@ -411,8 +516,10 @@ func (b *Backend) readmitExpired() {
 	}
 }
 
-// rebuildLocked recomputes the ring from the admitted peers. Callers
-// hold b.mu (or exclusive access during construction).
+// rebuildLocked recomputes the ring from the admitted peers, snapshotting
+// the membership the new ring's indices point into — lookups resolved
+// against an old ring stay valid even after SetMembers rewrites b.peers.
+// Callers hold b.mu (or exclusive access during construction).
 func (b *Backend) rebuildLocked() {
 	ids := make([]string, len(b.peers))
 	var members []int
@@ -423,6 +530,7 @@ func (b *Backend) rebuildLocked() {
 		}
 	}
 	b.ring = buildRing(ids, members, b.cfg.Vnodes)
+	b.ringPeers = append([]*peer(nil), b.peers...)
 }
 
 // OwnerOf reports the id of the ring member spec currently routes to —
@@ -437,7 +545,7 @@ func (b *Backend) OwnerOf(spec sweep.Spec) string {
 	if len(c) == 0 {
 		return ""
 	}
-	return b.peers[c[0]].id
+	return b.ringPeers[c[0]].id
 }
 
 // PeerStatus is one peer's health and traffic snapshot, reported by

@@ -105,6 +105,113 @@ func TestRingStabilityUnderEjection(t *testing.T) {
 	}
 }
 
+// TestRingRebalanceProperty: the consistent-hashing contract under
+// membership change. Over K sampled spec keys, a single join or leave
+// on an N-peer ring may move at most roughly its fair share — K/N plus
+// vnode-variance slack — and every move must involve the changed peer:
+// keys between two surviving peers never reshuffle among themselves.
+func TestRingRebalanceProperty(t *testing.T) {
+	const peers, keys = 5, 2000
+	slack := keys / 10
+	ids := testIDs(peers + 1)
+	ownerOf := func(r *ring, i int) int { return r.candidates(fmt.Sprintf("W%d|spec-%d|lim=%d", i%12, i, i%7))[0] }
+
+	base := buildRing(ids[:peers], allMembers(peers), 64)
+
+	t.Run("leave", func(t *testing.T) {
+		leaver := 3
+		var members []int
+		for i := 0; i < peers; i++ {
+			if i != leaver {
+				members = append(members, i)
+			}
+		}
+		after := buildRing(ids[:peers], members, 64)
+		moved := 0
+		for i := 0; i < keys; i++ {
+			before, now := ownerOf(base, i), ownerOf(after, i)
+			if before != now {
+				moved++
+				if before != leaver {
+					t.Fatalf("key %d moved %d→%d; only the leaver's keys may move", i, before, now)
+				}
+			}
+		}
+		if max := keys/peers + slack; moved > max {
+			t.Fatalf("leave moved %d of %d keys, want at most ~K/N=%d+%d slack", moved, keys, keys/peers, slack)
+		}
+	})
+
+	t.Run("join", func(t *testing.T) {
+		joiner := peers // a 6th peer joins
+		after := buildRing(ids, allMembers(peers+1), 64)
+		moved := 0
+		for i := 0; i < keys; i++ {
+			before, now := ownerOf(base, i), ownerOf(after, i)
+			if before != now {
+				moved++
+				if now != joiner {
+					t.Fatalf("key %d moved %d→%d; joins may only move keys onto the joiner", i, before, now)
+				}
+			}
+		}
+		if max := keys/(peers+1) + slack; moved > max {
+			t.Fatalf("join moved %d of %d keys, want at most ~K/(N+1)=%d+%d slack", moved, keys, keys/(peers+1), slack)
+		}
+		if moved == 0 {
+			t.Fatal("join moved no keys; the joiner would idle forever")
+		}
+	})
+}
+
+// TestRingOwnershipIgnoresMembershipOrder: two rings independently
+// built from the same membership table — fed in different orders, as
+// two gossiping coordinators may hold it — must route every key to the
+// same peer id.
+func TestRingOwnershipIgnoresMembershipOrder(t *testing.T) {
+	ids := testIDs(5)
+	perm := []string{ids[3], ids[0], ids[4], ids[2], ids[1]}
+	a := buildRing(ids, allMembers(5), 64)
+	b := buildRing(perm, allMembers(5), 64)
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("spec-%d", i)
+		ownerA := ids[a.candidates(key)[0]]
+		ownerB := perm[b.candidates(key)[0]]
+		if ownerA != ownerB {
+			t.Fatalf("key %q owned by %s on ring A but %s on permuted ring B", key, ownerA, ownerB)
+		}
+	}
+}
+
+// TestBackendOwnershipIgnoresMembershipOrder is the same determinism
+// property one level up: two backends fed the same membership table in
+// different orders (one statically, one through SetMembers deltas)
+// agree on every spec's owner.
+func TestBackendOwnershipIgnoresMembershipOrder(t *testing.T) {
+	peers := make([]Peer, 4)
+	for i := range peers {
+		peers[i] = Peer{ID: fmt.Sprintf("peer-%d", i), URL: fmt.Sprintf("http://192.0.2.%d:9", i+1)}
+	}
+	key := func(s sweep.Spec) sweep.Key { return sweep.Key(s.String()) }
+	a, err := New(Config{Peers: peers, Key: key, ProbeEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := New(Config{Peers: []Peer{peers[2], peers[0]}, Key: key, ProbeEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	b.SetMembers([]Peer{peers[3], peers[1], peers[2], peers[0]})
+	for i := 0; i < 200; i++ {
+		spec := sweep.Spec{Mix: fmt.Sprintf("W%d", i%12+1), Policy: fmt.Sprintf("p-%d", i)}
+		if oa, ob := a.OwnerOf(spec), b.OwnerOf(spec); oa != ob {
+			t.Fatalf("spec %s owned by %q statically but %q via SetMembers", spec, oa, ob)
+		}
+	}
+}
+
 // TestBackendChurnRace hammers routing, ejection, readmission, probing
 // and status snapshots concurrently; run with -race. Peers point at
 // dead addresses, so every dispatch also exercises the failure path.
@@ -158,7 +265,9 @@ func TestBackendChurnRace(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; ctx.Err() == nil && i < 200; i++ {
+				b.mu.RLock()
 				p := b.peers[(g*7+i)%len(b.peers)]
+				b.mu.RUnlock()
 				switch i % 3 {
 				case 0:
 					b.eject(p, fmt.Errorf("churn"))
@@ -172,5 +281,16 @@ func TestBackendChurnRace(t *testing.T) {
 			}
 		}(g)
 	}
+	// Membership churn races the health churn: gossip deltas grow and
+	// shrink the ring while dispatches and ejections are in flight.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ctx.Err() == nil && i < 200; i++ {
+			n := 3 + i%4 // between 3 and 6 members
+			b.SetMembers(peers[:n])
+		}
+		b.SetMembers(peers) // leave full membership for the runners
+	}()
 	wg.Wait()
 }

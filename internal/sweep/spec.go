@@ -44,7 +44,24 @@ func (s Spec) normalize() Spec {
 	if s.Model == "" {
 		s.Model = core.Isolated.String()
 	}
+	// The JSON codec cannot tell -0 from +0 (omitempty drops both), so
+	// the canonical key must not either — otherwise a spec would change
+	// identity crossing the wire and shard to a different ring owner.
+	s.PsiXi = canonZero(s.PsiXi)
+	s.Interval = canonZero(s.Interval)
+	s.Limits.AMBTDP = canonZero(s.Limits.AMBTDP)
+	s.Limits.DRAMTDP = canonZero(s.Limits.DRAMTDP)
+	s.Limits.AMBTRP = canonZero(s.Limits.AMBTRP)
+	s.Limits.DRAMTRP = canonZero(s.Limits.DRAMTRP)
 	return s
+}
+
+// canonZero collapses negative zero onto positive zero.
+func canonZero(f float64) float64 {
+	if f == 0 {
+		return 0
+	}
+	return f
 }
 
 // Key is the canonical cache identity of a run: a normalized spec plus
