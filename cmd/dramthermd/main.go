@@ -42,6 +42,8 @@
 // Endpoints:
 //
 //	GET    /v1/healthz           version, uptime, run-cache statistics, peer ring, membership
+//	GET    /metrics              Prometheus text exposition (cache, pool, jobs, HTTP, ring, gossip)
+//	GET    /debug/pprof/         runtime profiles (opt-in via -pprof)
 //	POST   /v1/gossip            anti-entropy membership exchange (with -gossip)
 //	POST   /v1/exec              synchronous single-run execution (cluster dispatch)
 //	POST   /v1/exec/batch        shard execution: specs in, streamed NDJSON outcomes out
@@ -64,8 +66,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -76,13 +80,14 @@ import (
 
 	"dramtherm/internal/core"
 	"dramtherm/internal/httpapi"
+	"dramtherm/internal/obs"
 	"dramtherm/internal/sweep"
 	"dramtherm/internal/sweep/remote"
 	"dramtherm/internal/sweep/remote/gossip"
 )
 
 // version is reported by GET /v1/healthz.
-const version = "0.5.0"
+const version = "0.6.0"
 
 // parsePeers expands the -peers flag: either a comma-separated list of
 // entries or @path naming a file with one entry per line (blank lines
@@ -168,8 +173,37 @@ func main() {
 		advertise = flag.String("advertise", "", "with -gossip: base URL other members reach this node at (default http://127.0.0.1<addr>)")
 		nodeID    = flag.String("id", "", "with -gossip: stable member id (default derived from the advertised URL)")
 		gossipInt = flag.Duration("gossip-interval", time.Second, "gossip round period")
+
+		logFormat = flag.String("log-format", "text", "log output format: text or json")
+		pprofOn   = flag.Bool("pprof", false, "serve net/http/pprof profiles under /debug/pprof/")
 	)
 	flag.Parse()
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		log.Fatalf("-log-format: want text or json, got %q", *logFormat)
+	}
+	logger := slog.New(handler)
+	slog.SetDefault(logger)
+	fatalf := func(format string, args ...any) {
+		logger.Error(fmt.Sprintf(format, args...))
+		os.Exit(1)
+	}
+
+	// One registry covers every layer: the engine's cache and worker
+	// pool, the HTTP middleware, and (when enabled) the remote backend
+	// and gossip node all register here, and GET /metrics renders it.
+	reg := obs.NewRegistry()
+	reg.SampleFunc(obs.KindGauge, "dramtherm_build_info",
+		"Build metadata; the value is always 1.", []string{"version"},
+		func() []obs.Sample {
+			return []obs.Sample{{LabelValues: []string{version}, Value: 1}}
+		})
 
 	cfg := core.DefaultConfig()
 	if *replicas > 0 {
@@ -183,17 +217,17 @@ func main() {
 	if *peers != "" {
 		var err error
 		if peerList, err = parsePeers(*peers); err != nil {
-			log.Fatalf("-peers: %v", err)
+			fatalf("-peers: %v", err)
 		}
 	}
 	var joinList []remote.Peer
 	if *join != "" {
 		if !*gossipOn {
-			log.Fatalf("-join requires -gossip")
+			fatalf("-join requires -gossip")
 		}
 		var err error
 		if joinList, err = parsePeers(*join); err != nil {
-			log.Fatalf("-join: %v", err)
+			fatalf("-join: %v", err)
 		}
 	}
 	poolWidth := *workers
@@ -204,20 +238,21 @@ func main() {
 		poolWidth = len(peerList)**perPeer + runtime.GOMAXPROCS(0)
 	}
 	eng := sweep.NewEngine(core.NewSystem(cfg), poolWidth)
+	eng.Instrument(reg)
 
 	if *state != "" {
 		switch loaded, err := eng.LoadStateFile(*state); {
 		case err != nil:
-			log.Printf("state %s not loaded: %v", *state, err)
+			logger.Warn("state not loaded", "path", *state, "err", err.Error())
 		case loaded:
-			log.Printf("state %s loaded: %d trace records", *state, eng.System().Store().Len())
+			logger.Info("state loaded", "path", *state, "traces", eng.System().Store().Len())
 		}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	apiCfg := httpapi.Config{JobTTL: *jobTTL, MaxJobs: *maxJobs, Version: version}
+	apiCfg := httpapi.Config{JobTTL: *jobTTL, MaxJobs: *maxJobs, Version: version, Logger: logger, Metrics: reg}
 	if apiCfg.JobTTL <= 0 {
 		apiCfg.JobTTL = -1 // flag convention: 0 disables; Config uses <0 for that
 	}
@@ -239,7 +274,7 @@ func main() {
 			Local:      eng.Exec,
 			MaxPerPeer: *perPeer,
 			ProbeEvery: probeEvery,
-			Logf:       log.Printf,
+			Logger:     logger,
 		}
 		if *gossipOn {
 			// Ring-probe ejections are the local failure detector behind
@@ -257,16 +292,17 @@ func main() {
 		}
 		var err error
 		if backend, err = remote.New(bcfg); err != nil {
-			log.Fatalf("-peers: %v", err)
+			fatalf("-peers: %v", err)
 		}
 		defer backend.Close()
+		backend.Instrument(reg)
 		if *batch {
 			eng.SetBatchBackend(backend)
 		} else {
 			eng.SetBackend(backend)
 		}
 		apiCfg.ClusterStatus = func() any { return backend.Status() }
-		log.Printf("cluster mode: coordinating %d peer(s) (batch=%v)", len(peerList), *batch)
+		logger.Info("cluster mode: coordinating peers", "peers", len(peerList), "batch", *batch)
 	}
 
 	if *gossipOn {
@@ -278,7 +314,7 @@ func main() {
 			Self:     self,
 			Seeds:    seedMembers(append(append([]remote.Peer(nil), peerList...), joinList...)),
 			Interval: *gossipInt,
-			Logf:     log.Printf,
+			Logger:   logger,
 		}
 		if backend != nil {
 			selfID := self.ID
@@ -294,48 +330,64 @@ func main() {
 		}
 		node, err := gossip.NewNode(gcfg)
 		if err != nil {
-			log.Fatalf("-gossip: %v", err)
+			fatalf("-gossip: %v", err)
 		}
 		defer node.Close()
+		node.Instrument(reg)
 		gnode.Store(node)
 		apiCfg.Gossip = node
-		log.Printf("gossip mode: member %s at %s, %d seed(s), interval %s",
-			self.ID, self.URL, len(gcfg.Seeds), *gossipInt)
+		logger.Info("gossip mode: joined membership",
+			"member", self.ID, "url", self.URL, "seeds", len(gcfg.Seeds), "interval", gossipInt.String())
 	}
 
 	api := httpapi.New(ctx, eng, apiCfg)
 	defer api.Close()
+	root := http.Handler(api)
+	if *pprofOn {
+		// pprof is opt-in: profiles expose internals (and Profile blocks a
+		// goroutine for the sampling window), so they stay off the default
+		// surface. The API handles everything else.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", api)
+		root = mux
+	}
 	srv := &http.Server{
 		Addr:        *addr,
-		Handler:     api,
+		Handler:     root,
 		BaseContext: func(net.Listener) context.Context { return ctx },
 	}
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("dramthermd listening on %s (workers=%d, job-ttl=%s, max-jobs=%d, config %s)",
-			*addr, *workers, *jobTTL, *maxJobs, eng.System().ConfigDigest())
+		logger.Info("dramthermd listening",
+			"addr", *addr, "workers", *workers, "job_ttl", jobTTL.String(),
+			"max_jobs", *maxJobs, "pprof", *pprofOn, "config", eng.System().ConfigDigest())
 		errc <- srv.ListenAndServe()
 	}()
 
 	select {
 	case err := <-errc:
-		log.Fatalf("serve: %v", err)
+		fatalf("serve: %v", err)
 	case <-ctx.Done():
 	}
 
-	log.Printf("shutting down")
+	logger.Info("shutting down")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {
-		log.Printf("shutdown: %v", err)
+		logger.Warn("shutdown", "err", err.Error())
 	}
 
 	if *state != "" {
 		if err := eng.SaveStateFile(*state); err != nil {
-			log.Printf("state %s not saved: %v", *state, err)
+			logger.Warn("state not saved", "path", *state, "err", err.Error())
 		} else {
-			log.Printf("state saved to %s", *state)
+			logger.Info("state saved", "path", *state)
 		}
 	}
 }

@@ -1,0 +1,85 @@
+// Command metriclint scrapes a Prometheus text exposition endpoint and
+// validates it with the same parser the unit tests use (internal/obs
+// Lint) — CI's substitute for promtool, with zero dependencies. It can
+// also assert that specific metric families are present, so a pipeline
+// catches an instrumentation hookup silently falling off.
+//
+// Usage:
+//
+//	metriclint -url http://127.0.0.1:8080/metrics
+//	metriclint -url http://127.0.0.1:8080/metrics -retry 10s \
+//	    -require dramtherm_http_requests_total,dramtherm_cache_requests_total
+//
+// Exit status 0 when the scrape succeeds, the exposition parses clean,
+// and every required family is present; 1 otherwise, with the reason on
+// stderr. -retry keeps re-scraping until the deadline, so CI can start
+// the daemon and the linter concurrently.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"dramtherm/internal/obs"
+)
+
+func main() {
+	var (
+		url     = flag.String("url", "http://127.0.0.1:8080/metrics", "metrics endpoint to scrape")
+		retry   = flag.Duration("retry", 0, "keep retrying failed scrapes for this long (0 = single attempt)")
+		require = flag.String("require", "", "comma-separated metric family names that must be present")
+	)
+	flag.Parse()
+
+	deadline := time.Now().Add(*retry)
+	var families []string
+	for {
+		var err error
+		if families, err = scrape(*url); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			fmt.Fprintf(os.Stderr, "metriclint: %v\n", err)
+			os.Exit(1)
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+
+	got := make(map[string]bool, len(families))
+	for _, f := range families {
+		got[f] = true
+	}
+	missing := 0
+	for _, want := range strings.Split(*require, ",") {
+		if want = strings.TrimSpace(want); want != "" && !got[want] {
+			fmt.Fprintf(os.Stderr, "metriclint: required family %s missing\n", want)
+			missing++
+		}
+	}
+	if missing > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("metriclint: %s ok, %d families\n", *url, len(families))
+}
+
+// scrape fetches the endpoint and parses the body, returning the family
+// names seen or the first protocol/exposition error.
+func scrape(url string) ([]string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	families, err := obs.Lint(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("invalid exposition from %s: %w", url, err)
+	}
+	return families, nil
+}

@@ -46,6 +46,7 @@ import (
 	"dramtherm/internal/core"
 	"dramtherm/internal/fbconfig"
 	"dramtherm/internal/httpapi"
+	"dramtherm/internal/obs"
 	"dramtherm/internal/sweep"
 	"dramtherm/internal/sweep/remote"
 	"dramtherm/internal/sweep/remote/gossip"
@@ -162,9 +163,14 @@ func (w *worker) kill() {
 // clusterSweep runs specs through a fresh two-worker cluster. When
 // killVictim is set, the worker owning the first spec's shard is killed
 // as soon as the sweep starts, so its runs fail over. It returns the
-// rendered report table, how many specs each peer served, and the
-// per-endpoint request totals across both workers.
-func clusterSweep(specs []sweep.Spec, killVictim bool) (table string, served map[string]int, execs, batches int64) {
+// rendered report table, how many specs each peer served, the
+// per-endpoint request totals across both workers, and the
+// coordinator's metrics registry so callers can assert on the remote
+// backend's dispatch/failover counters. In the clean run it
+// cross-checks the coordinator's per-peer dispatch counters against
+// each worker's own HTTP request counts — two independent observers of
+// the same traffic must agree exactly.
+func clusterSweep(specs []sweep.Spec, killVictim bool) (table string, served map[string]int, execs, batches int64, reg *obs.Registry) {
 	w1, w2 := startWorker(""), startWorker("")
 	defer w1.kill()
 	defer w2.kill()
@@ -186,6 +192,8 @@ func clusterSweep(specs []sweep.Spec, killVictim bool) (table string, served map
 		log.Fatal(err)
 	}
 	defer backend.Close()
+	reg = obs.NewRegistry()
+	backend.Instrument(reg)
 	if *batch {
 		coord.SetBatchBackend(backend)
 	} else {
@@ -230,7 +238,21 @@ func clusterSweep(specs []sweep.Spec, killVictim bool) (table string, served map
 	}
 	execs = w1.execs.Load() + w2.execs.Load()
 	batches = w1.batches.Load() + w2.batches.Load()
-	return res.Table("cluster sweep").String(), served, execs, batches
+	if !killVictim {
+		// No kill means no retries on severed connections, so the
+		// coordinator's dispatch counters and each worker's own HTTP
+		// request counts observed identical traffic.
+		for id, w := range workers {
+			db := int64(reg.Sum("dramtherm_remote_dispatch_total", map[string]string{"peer": id, "kind": "batch"}))
+			de := int64(reg.Sum("dramtherm_remote_dispatch_total", map[string]string{"peer": id, "kind": "exec"}))
+			if db != w.batches.Load() || de != w.execs.Load() {
+				log.Fatalf("coordinator dispatch counters for %s (%d batch, %d exec) disagree with its HTTP request counts (%d batch, %d exec)",
+					id, db, de, w.batches.Load(), w.execs.Load())
+			}
+		}
+		fmt.Println("  ✓ dispatch counters match workers' per-endpoint HTTP request counts")
+	}
+	return res.Table("cluster sweep").String(), served, execs, batches, reg
 }
 
 // ringHas reports whether the backend's membership currently includes
@@ -419,7 +441,7 @@ func main() {
 
 	// Cluster: two embedded workers behind a coordinating engine.
 	fmt.Println("\ncluster sweep across 2 embedded workers:")
-	clusterTable, served, execs, batches := clusterSweep(specs, false)
+	clusterTable, served, execs, batches, _ := clusterSweep(specs, false)
 	fmt.Printf("  shard distribution: %v\n", served)
 	fmt.Printf("  HTTP requests: %d batch, %d single-exec, for %d specs\n", batches, execs, len(specs))
 	if clusterTable != refTable {
@@ -442,7 +464,7 @@ func main() {
 
 	// Failover: fresh cluster, one worker killed as the sweep starts.
 	fmt.Println("\ncluster sweep with one worker killed mid-sweep:")
-	failTable, served, execs, batches := clusterSweep(specs, true)
+	failTable, served, execs, batches, failReg := clusterSweep(specs, true)
 	fmt.Printf("  shard distribution after failover: %v\n", served)
 	fmt.Printf("  HTTP requests: %d batch, %d single-exec\n", batches, execs)
 	if failTable != refTable {
@@ -450,6 +472,20 @@ func main() {
 			refTable, failTable)
 	}
 	fmt.Println("  ✓ report table byte-identical despite the dead worker")
+	// The kill must be visible in the coordinator's own metrics: the dead
+	// peer transitions down, and the lost work is re-planned (batched
+	// mode) or failed over spec by spec (legacy mode).
+	if down := failReg.Sum("dramtherm_remote_peer_state_transitions_total", map[string]string{"to": "down"}); down < 1 {
+		log.Fatalf("killed a worker but peer_state_transitions_total{to=down} = %v", down)
+	}
+	if *batch {
+		if n := failReg.Sum("dramtherm_remote_replan_rounds_total", nil); n < 1 {
+			log.Fatalf("killed a worker mid-batch but replan_rounds_total = %v", n)
+		}
+	} else if n := failReg.Sum("dramtherm_remote_failover_total", nil); n < 1 {
+		log.Fatalf("killed a worker but failover_total = %v", n)
+	}
+	fmt.Println("  ✓ failover visible in metrics: down transition + re-planned work")
 
 	if *batch {
 		// Gossip membership under churn: join mid-sweep, kill mid-sweep.

@@ -67,7 +67,7 @@ func (s *Server) handleExecBatch(w http.ResponseWriter, r *http.Request) {
 	writeLine := func(line remote.BatchLine) {
 		data, err := json.Marshal(line)
 		if err != nil {
-			s.logf("httpapi: encoding batch line %d: %v", line.Index, err)
+			s.log.Error("httpapi: encoding batch line failed", s.reqAttrs(r, "index", line.Index, "err", err.Error())...)
 			cancel()
 			return
 		}
@@ -101,7 +101,7 @@ func (s *Server) handleExecBatch(w http.ResponseWriter, r *http.Request) {
 					cancel()
 					return
 				}
-				s.logf("httpapi: batch spec %d (%s): %v", i, sp, err)
+				s.log.Warn("httpapi: batch spec failed", s.reqAttrs(r, "index", i, "spec", sp.String(), "err", err.Error())...)
 				writeLine(remote.BatchLine{Index: i, Key: string(s.eng.Key(sp)), Error: err.Error()})
 				return
 			}

@@ -1,0 +1,279 @@
+package httpapi
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dramtherm/internal/core"
+	"dramtherm/internal/obs"
+	"dramtherm/internal/sim"
+	"dramtherm/internal/sweep"
+)
+
+// TestMetricsEndpoint drives a little traffic through an instrumented
+// server and checks that GET /metrics serves valid exposition text
+// covering every layer the server instruments.
+func TestMetricsEndpoint(t *testing.T) {
+	reg := obs.NewRegistry()
+	ts, _, eng := newTestServer(t, 2, 0, Config{Metrics: reg})
+	eng.Instrument(reg) // the daemon does this; embedders opt in per layer
+
+	resp := postJSON(t, ts.URL+"/v1/exec", sweep.Spec{Mix: "W1", Policy: "DTM-ACG"})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("exec: got %d", resp.StatusCode)
+	}
+	resp = doReq(t, http.MethodGet, ts.URL+"/v1/healthz")
+	resp.Body.Close()
+	resp = doReq(t, http.MethodGet, ts.URL+"/v1/runs/nope")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: got %d", resp.StatusCode)
+	}
+
+	resp = doReq(t, http.MethodGet, ts.URL+"/metrics")
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: got %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.TextContentType {
+		t.Fatalf("content type %q, want %q", ct, obs.TextContentType)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	families, err := obs.Lint(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("exposition lint: %v\n%s", err, body)
+	}
+	got := make(map[string]bool, len(families))
+	for _, f := range families {
+		got[f] = true
+	}
+	for _, want := range []string{
+		"dramtherm_cache_requests_total",
+		"dramtherm_cache_entries",
+		"dramtherm_cache_build_seconds",
+		"dramtherm_pool_workers",
+		"dramtherm_pool_busy",
+		"dramtherm_jobs",
+		"dramtherm_http_requests_total",
+		"dramtherm_http_request_seconds",
+		"dramtherm_http_inflight_requests",
+		"dramtherm_sse_subscribers",
+		"dramtherm_sse_dropped_total",
+	} {
+		if !got[want] {
+			t.Errorf("family %s missing from /metrics", want)
+		}
+	}
+	if n := reg.Sum("dramtherm_http_requests_total", map[string]string{"route": "/v1/runs/{id}", "code": "404"}); n != 1 {
+		t.Errorf("404 on /v1/runs/{id}: counted %v, want 1", n)
+	}
+	if n := reg.Sum("dramtherm_cache_requests_total", map[string]string{"outcome": "built"}); n != 1 {
+		t.Errorf("cache builds: counted %v, want 1", n)
+	}
+}
+
+// TestMetricsRouteDisabledWithoutRegistry keeps the surface stable for
+// uninstrumented embedders: no Config.Metrics, no /metrics route.
+func TestMetricsRouteDisabledWithoutRegistry(t *testing.T) {
+	ts, _, _ := newTestServer(t, 1, 0, Config{})
+	resp := doReq(t, http.MethodGet, ts.URL+"/metrics")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/metrics without registry: got %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestRequestIDAdoptMintEcho covers the correlation-id contract: a
+// caller-supplied X-Request-ID is echoed back verbatim, and a missing
+// one is minted server-side.
+func TestRequestIDAdoptMintEcho(t *testing.T) {
+	ts, _, _ := newTestServer(t, 1, 0, Config{})
+
+	resp := doReq(t, http.MethodGet, ts.URL+"/v1/healthz")
+	resp.Body.Close()
+	minted := resp.Header.Get(obs.RequestIDHeader)
+	if !regexp.MustCompile(`^[0-9a-f]{16}$`).MatchString(minted) {
+		t.Fatalf("minted request id %q, want 16 hex chars", minted)
+	}
+
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(obs.RequestIDHeader, "caller-id-7")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(obs.RequestIDHeader); got != "caller-id-7" {
+		t.Fatalf("echoed request id %q, want caller-id-7", got)
+	}
+}
+
+// TestMiddlewareCardinalityUnderConcurrency hammers several routes at
+// once and then checks two invariants: the request counter's route
+// labels come only from the registered route table (never raw request
+// paths, so cardinality is bounded), and no increment was lost.
+func TestMiddlewareCardinalityUnderConcurrency(t *testing.T) {
+	reg := obs.NewRegistry()
+	ts, _, _ := newTestServer(t, 4, 0, Config{Metrics: reg})
+
+	const perRoute = 25
+	routes := []struct{ method, path string }{
+		{http.MethodGet, "/v1/healthz"},
+		{http.MethodGet, "/v1/runs"},
+		{http.MethodGet, "/v1/runs/ghost-1"},
+		{http.MethodGet, "/v1/runs/ghost-2"},
+	}
+	var wg sync.WaitGroup
+	for _, rt := range routes {
+		for i := 0; i < perRoute; i++ {
+			wg.Add(1)
+			go func(method, path string) {
+				defer wg.Done()
+				req, err := http.NewRequest(method, ts.URL+path, nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}(rt.method, rt.path)
+		}
+	}
+	wg.Wait()
+
+	allowed := map[string]bool{
+		"/v1/healthz": true, "/v1/runs": true, "/v1/runs/{id}": true,
+	}
+	for _, fam := range reg.Gather() {
+		if fam.Name != "dramtherm_http_requests_total" {
+			continue
+		}
+		for _, s := range fam.Series {
+			for _, l := range s.Labels {
+				if l.Name == "route" && !allowed[l.Value] {
+					t.Errorf("unexpected route label %q (raw paths must not leak into labels)", l.Value)
+				}
+			}
+		}
+	}
+	total := reg.Sum("dramtherm_http_requests_total", nil)
+	if want := float64(len(routes) * perRoute); total != want {
+		t.Errorf("request counter total %v, want %v (lost or duplicated increments)", total, want)
+	}
+	// Both ghost ids fold into one parameterized route.
+	if n := reg.Sum("dramtherm_http_requests_total", map[string]string{"route": "/v1/runs/{id}"}); n != 2*perRoute {
+		t.Errorf("/v1/runs/{id} count %v, want %v", n, 2*perRoute)
+	}
+	if n := reg.Sum("dramtherm_http_request_seconds", map[string]string{"route": "/v1/healthz"}); n != perRoute {
+		t.Errorf("latency histogram count %v, want %v", n, perRoute)
+	}
+	if v := reg.Sum("dramtherm_http_inflight_requests", nil); v != 0 {
+		t.Errorf("in-flight gauge %v after drain, want 0", v)
+	}
+}
+
+// TestErrorLogsCarryRequestContext routes a failing run through the
+// server with a captured structured logger and checks the error event
+// carries method, path and the request id from the wire.
+func TestErrorLogsCarryRequestContext(t *testing.T) {
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	}), nil))
+
+	eng := sweep.NewEngine(core.NewSystem(core.DefaultConfig()), 1)
+	eng.SetRunFunc(func(context.Context, core.RunSpec) (sim.MEMSpotResult, error) {
+		return sim.MEMSpotResult{}, errors.New("boom: simulated failure")
+	})
+	api := New(context.Background(), eng, Config{Logger: logger})
+	t.Cleanup(api.Close)
+	ts := httptest.NewServer(api)
+	t.Cleanup(ts.Close)
+
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/exec",
+		strings.NewReader(`{"mix":"W1","policy":"DTM-ACG"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(obs.RequestIDHeader, "trace-me-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	// A deterministic run failure is the spec's own doing: 422, logged
+	// with full request context.
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("failing exec: got %d, want 422", resp.StatusCode)
+	}
+
+	mu.Lock()
+	logged := buf.String()
+	mu.Unlock()
+	for _, want := range []string{"method=POST", "path=/v1/exec", "request_id=trace-me-42"} {
+		if !strings.Contains(logged, want) {
+			t.Errorf("error log missing %q:\n%s", want, logged)
+		}
+	}
+}
+
+// TestSSEMetricsCleanStream verifies a subscriber that reads through the
+// terminal event leaves the gauge at zero without counting as a drop.
+func TestSSEMetricsCleanStream(t *testing.T) {
+	reg := obs.NewRegistry()
+	ts, _, _ := newTestServer(t, 2, 0, Config{Metrics: reg})
+
+	resp := postJSON(t, ts.URL+"/v1/runs", sweep.Spec{Mix: "W1", Policy: "DTM-ACG"})
+	id := decode[map[string]any](t, resp)["id"].(string)
+
+	resp = doReq(t, http.MethodGet, fmt.Sprintf("%s/v1/runs/%s/events", ts.URL, id))
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events: got %d", resp.StatusCode)
+	}
+	if _, err := io.ReadAll(resp.Body); err != nil { // server closes after terminal event
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.Sum("dramtherm_sse_subscribers", nil) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("sse subscriber gauge never returned to 0")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := reg.Sum("dramtherm_sse_dropped_total", nil); n != 0 {
+		t.Errorf("clean stream counted as dropped: %v", n)
+	}
+}
+
+// writerFunc adapts a function to io.Writer for log capture.
+type writerFunc func([]byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

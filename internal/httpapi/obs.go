@@ -1,0 +1,89 @@
+package httpapi
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"dramtherm/internal/obs"
+)
+
+// handle registers h at pattern wrapped in the observability
+// middleware. The metric route label is the registered pattern's path
+// (e.g. "/v1/runs/{id}"), never the raw request path, so label
+// cardinality is bounded by the route table.
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	route := pattern
+	if i := strings.IndexByte(pattern, ' '); i >= 0 {
+		route = pattern[i+1:]
+	}
+	s.mux.Handle(pattern, s.middleware(route, h))
+}
+
+// middleware stamps every request with a correlation id — adopting the
+// caller's X-Request-ID so a coordinator's id follows its dispatches
+// onto worker nodes, minting one otherwise, and echoing it on the
+// response — and, when metrics are configured, tracks in-flight count,
+// per-route request totals by method and status code, and a per-route
+// latency histogram.
+func (s *Server) middleware(route string, next http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(obs.RequestIDHeader)
+		if id == "" {
+			id = obs.NewRequestID()
+		}
+		w.Header().Set(obs.RequestIDHeader, id)
+		r = r.WithContext(obs.WithRequestID(r.Context(), id))
+		if s.mReq == nil { // metrics off: request ids only
+			next(w, r)
+			return
+		}
+		s.mInflight.Inc()
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		var ww http.ResponseWriter = sw
+		if _, ok := w.(http.Flusher); ok {
+			// Only advertise Flusher when the underlying writer really
+			// streams: the SSE and batch handlers type-assert for it.
+			ww = flushWriter{sw}
+		}
+		next(ww, r)
+		s.mInflight.Dec()
+		code := sw.status
+		if code == 0 {
+			code = http.StatusOK
+		}
+		s.mReq.WithLabelValues(route, r.Method, strconv.Itoa(code)).Inc()
+		s.mLat.WithLabelValues(route).Observe(time.Since(start).Seconds())
+	})
+}
+
+// statusWriter records the first status code written so the middleware
+// can label the request counter with it.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// flushWriter is a statusWriter over a flushable writer: it forwards
+// Flush so streaming handlers keep their type assertion.
+type flushWriter struct{ *statusWriter }
+
+func (w flushWriter) Flush() {
+	w.ResponseWriter.(http.Flusher).Flush()
+}

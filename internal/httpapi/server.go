@@ -6,10 +6,12 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"time"
 
+	"dramtherm/internal/obs"
 	"dramtherm/internal/sim"
 	"dramtherm/internal/sweep"
 	"dramtherm/internal/sweep/remote"
@@ -28,8 +30,19 @@ type Config struct {
 	// MaxBatch bounds the spec count of one POST /v1/exec/batch shard
 	// (default DefaultMaxBatch); larger shards get a 413.
 	MaxBatch int
-	// Logf sinks internal-error logs (default log.Printf).
+	// Logf sinks internal-error logs (default log.Printf). When Logger
+	// is unset, log records are rendered onto Logf one line each, so
+	// printf-style callers keep working.
 	Logf func(format string, v ...any)
+	// Logger, when non-nil, receives structured request and error logs
+	// (method, path, request_id attrs) and takes precedence over Logf.
+	Logger *slog.Logger
+	// Metrics, when non-nil, instruments every route (request counts and
+	// latency by registered pattern, in-flight gauge, SSE subscribers),
+	// instruments the job registry, and serves the registry's text
+	// exposition at GET /metrics. When nil, only request-id propagation
+	// is active and /metrics answers 404.
+	Metrics *obs.Registry
 	// Version is reported by GET /v1/healthz (default "dev").
 	Version string
 	// ClusterStatus, when non-nil, adds its result as the "peers" field
@@ -54,11 +67,18 @@ type Server struct {
 	jobs      *sweep.Jobs
 	heartbeat time.Duration
 	maxBatch  int
-	logf      func(format string, v ...any)
+	log       *slog.Logger
 	version   string
 	cluster   func() any
 	gossip    *gossip.Node
 	started   time.Time
+
+	// Instrumentation; all nil (and therefore no-ops) without Metrics.
+	mReq        *obs.CounterVec   // {route, method, code}
+	mLat        *obs.HistogramVec // {route}
+	mInflight   *obs.Gauge
+	mSSESubs    *obs.Gauge
+	mSSEDropped *obs.Counter
 
 	// base is the lifetime context of asynchronous jobs; cancelling it
 	// (server shutdown) aborts in-flight simulations.
@@ -89,23 +109,42 @@ func New(base context.Context, eng *sweep.Engine, cfg Config) *Server {
 		jobs:      sweep.NewJobs(sweep.JobsOptions{TTL: cfg.JobTTL, MaxJobs: cfg.MaxJobs}),
 		heartbeat: cfg.Heartbeat,
 		maxBatch:  cfg.MaxBatch,
-		logf:      cfg.Logf,
+		log:       cfg.Logger,
 		version:   cfg.Version,
 		cluster:   cfg.ClusterStatus,
 		gossip:    cfg.Gossip,
 		started:   time.Now(),
 		base:      base,
 	}
-	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
-	s.mux.HandleFunc("POST "+gossip.Path, s.handleGossip)
-	s.mux.HandleFunc("POST /v1/runs", s.handleSubmitRun)
-	s.mux.HandleFunc("POST /v1/exec", s.handleExec)
-	s.mux.HandleFunc("POST /v1/exec/batch", s.handleExecBatch)
-	s.mux.HandleFunc("GET /v1/runs", s.handleListRuns)
-	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleGetRun)
-	s.mux.HandleFunc("GET /v1/runs/{id}/events", s.handleRunEvents)
-	s.mux.HandleFunc("DELETE /v1/runs/{id}", s.handleDeleteRun)
-	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
+	if s.log == nil {
+		s.log = obs.LogfLogger(cfg.Logf)
+	}
+	if reg := cfg.Metrics; reg != nil {
+		s.mReq = reg.CounterVec("dramtherm_http_requests_total",
+			"HTTP requests served, by registered route pattern, method and status code.",
+			"route", "method", "code")
+		s.mLat = reg.HistogramVec("dramtherm_http_request_seconds",
+			"HTTP request latency by registered route pattern.",
+			obs.DefBuckets, "route")
+		s.mInflight = reg.Gauge("dramtherm_http_inflight_requests",
+			"Requests currently being served.")
+		s.mSSESubs = reg.Gauge("dramtherm_sse_subscribers",
+			"Open job event streams.")
+		s.mSSEDropped = reg.Counter("dramtherm_sse_dropped_total",
+			"Event streams that ended before delivering the job's terminal event (client gone, write failure, or server drain).")
+		s.jobs.Instrument(reg)
+		s.handle("GET /metrics", reg.Handler().ServeHTTP)
+	}
+	s.handle("GET /v1/healthz", s.handleHealthz)
+	s.handle("POST "+gossip.Path, s.handleGossip)
+	s.handle("POST /v1/runs", s.handleSubmitRun)
+	s.handle("POST /v1/exec", s.handleExec)
+	s.handle("POST /v1/exec/batch", s.handleExecBatch)
+	s.handle("GET /v1/runs", s.handleListRuns)
+	s.handle("GET /v1/runs/{id}", s.handleGetRun)
+	s.handle("GET /v1/runs/{id}/events", s.handleRunEvents)
+	s.handle("DELETE /v1/runs/{id}", s.handleDeleteRun)
+	s.handle("POST /v1/sweeps", s.handleSweep)
 	return s
 }
 
@@ -165,11 +204,22 @@ func writeClientErr(w http.ResponseWriter, status int, err error) {
 }
 
 // writeServerErr reports a 5xx: the underlying error is logged
-// server-side and the client gets a generic body, so internal details
-// (paths, config digests, backend state) never leak onto the wire.
+// server-side — tagged with the request's method, path and correlation
+// id — and the client gets a generic body, so internal details (paths,
+// config digests, backend state) never leak onto the wire.
 func (s *Server) writeServerErr(w http.ResponseWriter, r *http.Request, err error) {
-	s.logf("httpapi: %s %s: %v", r.Method, r.URL.Path, err)
+	s.log.Error("httpapi: internal error", s.reqAttrs(r, "err", err.Error())...)
 	writeJSON(w, http.StatusInternalServerError, map[string]string{"error": "internal error"})
+}
+
+// reqAttrs builds the request-context log attributes every error log
+// carries, plus any extras.
+func (s *Server) reqAttrs(r *http.Request, extra ...any) []any {
+	out := []any{"method", r.Method, "path", r.URL.Path}
+	if id := obs.RequestID(r.Context()); id != "" {
+		out = append(out, "request_id", id)
+	}
+	return append(out, extra...)
 }
 
 // wantFlag reads a boolean query parameter ("1" or "true").
@@ -255,7 +305,7 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 		// up): 503, retryable elsewhere. Any other run error is the
 		// spec's own doing — a 422 is terminal, so one poisoned spec
 		// cannot eject every healthy peer in turn.
-		s.logf("httpapi: %s %s: %v", r.Method, r.URL.Path, err)
+		s.log.Warn("httpapi: exec failed", s.reqAttrs(r, "err", err.Error())...)
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "node draining"})
 		} else {
@@ -325,7 +375,9 @@ func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
 		writeClientErr(w, http.StatusBadRequest, err)
 		return
 	}
-	job, err := s.jobs.Create(s.base, sweep.JobRun, []sweep.Spec{spec})
+	// The job outlives the request, but its logs and dispatches keep the
+	// submitting request's correlation id.
+	job, err := s.jobs.Create(obs.WithRequestID(s.base, obs.RequestID(r.Context())), sweep.JobRun, []sweep.Spec{spec})
 	if err != nil {
 		// Registry exhaustion is load, not client error: 503 invites retry.
 		writeClientErr(w, http.StatusServiceUnavailable, err)
@@ -482,7 +534,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if wantFlag(r, "async") {
-		job, err := s.jobs.Create(s.base, sweep.JobSweep, specs)
+		job, err := s.jobs.Create(obs.WithRequestID(s.base, obs.RequestID(r.Context())), sweep.JobSweep, specs)
 		if err != nil {
 			writeClientErr(w, http.StatusServiceUnavailable, err)
 			return

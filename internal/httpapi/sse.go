@@ -31,6 +31,17 @@ func (s *Server) handleRunEvents(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	flusher.Flush()
 
+	// A stream that ends before delivering the terminal event counts as
+	// dropped: the client is gone, a write failed, or the server drained.
+	complete := false
+	s.mSSESubs.Inc()
+	defer func() {
+		s.mSSESubs.Dec()
+		if !complete {
+			s.mSSEDropped.Inc()
+		}
+	}()
+
 	heartbeat := time.NewTimer(s.heartbeat)
 	defer heartbeat.Stop()
 	cursor := 0
@@ -50,6 +61,7 @@ func (s *Server) handleRunEvents(w http.ResponseWriter, r *http.Request) {
 			// drained log plus a terminal status means we sent it.
 			evs, _, _ := job.EventsSince(cursor)
 			if len(evs) == 0 {
+				complete = true
 				return
 			}
 			continue

@@ -1,0 +1,318 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Lint validates a Prometheus text exposition stream — the Go-based
+// replacement for promtool's check. It enforces the format itself
+// (parsable lines, legal metric and label names, TYPE headers before
+// samples, no duplicate series) plus the conventions this repo's
+// metrics follow (counter families end in _total, histogram buckets are
+// cumulative and close with +Inf, _count matches the +Inf bucket).
+// It returns the family names seen, so callers can assert coverage.
+func Lint(r io.Reader) (families []string, err error) {
+	l := &linter{
+		types: make(map[string]string),
+		seen:  make(map[string]bool),
+		hists: make(map[string]*histCheck),
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		if err := l.line(sc.Text()); err != nil {
+			return l.names, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return l.names, err
+	}
+	if err := l.finish(); err != nil {
+		return l.names, err
+	}
+	if len(l.names) == 0 {
+		return nil, fmt.Errorf("no metric families found")
+	}
+	return l.names, nil
+}
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// histCheck accumulates one histogram series group (one label set,
+// "le" excluded) for cumulativity and closure checks.
+type histCheck struct {
+	fam     string
+	lastLe  float64
+	lastCum float64
+	started bool
+	infSeen bool
+	infVal  float64
+	count   float64
+	hasCnt  bool
+}
+
+type linter struct {
+	types map[string]string // family -> declared type
+	seen  map[string]bool   // full series identity -> seen
+	names []string          // families in declaration order
+	hists map[string]*histCheck
+}
+
+func (l *linter) line(s string) error {
+	if s == "" {
+		return nil
+	}
+	if strings.HasPrefix(s, "#") {
+		return l.comment(s)
+	}
+	return l.sample(s)
+}
+
+func (l *linter) comment(s string) error {
+	fields := strings.SplitN(s, " ", 4)
+	if len(fields) < 2 {
+		return nil // free-form comment
+	}
+	switch fields[1] {
+	case "TYPE":
+		if len(fields) < 4 {
+			return fmt.Errorf("malformed TYPE line %q", s)
+		}
+		name, typ := fields[2], strings.TrimSpace(fields[3])
+		if !metricNameRe.MatchString(name) {
+			return fmt.Errorf("illegal metric name %q", name)
+		}
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown type %q for %s", typ, name)
+		}
+		if _, dup := l.types[name]; dup {
+			return fmt.Errorf("duplicate TYPE for %s", name)
+		}
+		if typ == "counter" && !strings.HasSuffix(name, "_total") {
+			return fmt.Errorf("counter %s does not end in _total", name)
+		}
+		l.types[name] = typ
+		l.names = append(l.names, name)
+	case "HELP":
+		if len(fields) < 3 {
+			return fmt.Errorf("malformed HELP line %q", s)
+		}
+		if !metricNameRe.MatchString(fields[2]) {
+			return fmt.Errorf("illegal metric name %q", fields[2])
+		}
+	}
+	return nil
+}
+
+// familyOf strips histogram/summary suffixes down to the declared
+// family name, if one matches.
+func (l *linter) familyOf(name string) (fam, suffix string) {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			if t := l.types[base]; t == "histogram" || t == "summary" {
+				return base, suf
+			}
+		}
+	}
+	return name, ""
+}
+
+func (l *linter) sample(s string) error {
+	name, rest := s, ""
+	if i := strings.IndexAny(s, "{ "); i >= 0 {
+		name, rest = s[:i], s[i:]
+	}
+	if !metricNameRe.MatchString(name) {
+		return fmt.Errorf("illegal metric name %q", name)
+	}
+	labels := map[string]string{}
+	rest = strings.TrimSpace(rest)
+	if strings.HasPrefix(rest, "{") {
+		end := strings.LastIndex(rest, "}")
+		if end < 0 {
+			return fmt.Errorf("unterminated label set in %q", s)
+		}
+		var err error
+		if labels, err = parseLabels(rest[1:end]); err != nil {
+			return fmt.Errorf("%w in %q", err, s)
+		}
+		rest = strings.TrimSpace(rest[end+1:])
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return fmt.Errorf("want value (and optional timestamp) after %s, got %q", name, rest)
+	}
+	val, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return fmt.Errorf("bad sample value %q for %s", fields[0], name)
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return fmt.Errorf("bad timestamp %q for %s", fields[1], name)
+		}
+	}
+
+	fam, suffix := l.familyOf(name)
+	if _, ok := l.types[fam]; !ok {
+		return fmt.Errorf("sample %s before any TYPE declaration for %s", name, fam)
+	}
+	id := seriesID(name, labels)
+	if l.seen[id] {
+		return fmt.Errorf("duplicate series %s", id)
+	}
+	l.seen[id] = true
+
+	if l.types[fam] == "counter" && val < 0 {
+		return fmt.Errorf("counter %s has negative value %v", name, val)
+	}
+	if l.types[fam] == "histogram" {
+		return l.histSample(fam, suffix, labels, val)
+	}
+	return nil
+}
+
+func (l *linter) histSample(fam, suffix string, labels map[string]string, val float64) error {
+	le, hasLe := labels["le"]
+	delete(labels, "le")
+	group := fam + "\xff" + seriesID("", labels)
+	hc := l.hists[group]
+	if hc == nil {
+		hc = &histCheck{fam: fam}
+		l.hists[group] = hc
+	}
+	switch suffix {
+	case "_bucket":
+		if !hasLe {
+			return fmt.Errorf("histogram %s bucket without le label", fam)
+		}
+		bound := math.Inf(1)
+		if le != "+Inf" {
+			var err error
+			if bound, err = strconv.ParseFloat(le, 64); err != nil {
+				return fmt.Errorf("bad le %q on %s", le, fam)
+			}
+		}
+		if hc.started {
+			if bound <= hc.lastLe {
+				return fmt.Errorf("histogram %s buckets out of order: le=%v after le=%v", fam, bound, hc.lastLe)
+			}
+			if val < hc.lastCum {
+				return fmt.Errorf("histogram %s buckets not cumulative: %v after %v", fam, val, hc.lastCum)
+			}
+		}
+		hc.started, hc.lastLe, hc.lastCum = true, bound, val
+		if math.IsInf(bound, 1) {
+			hc.infSeen, hc.infVal = true, val
+		}
+	case "_count":
+		hc.count, hc.hasCnt = val, true
+	case "_sum":
+		// any float is fine
+	default:
+		return fmt.Errorf("histogram %s has a bare sample line", fam)
+	}
+	return nil
+}
+
+// finish runs the whole-stream histogram checks once every line is in.
+func (l *linter) finish() error {
+	for _, hc := range l.hists {
+		if !hc.infSeen {
+			return fmt.Errorf("histogram %s has no +Inf bucket", hc.fam)
+		}
+		if hc.hasCnt && hc.count != hc.infVal {
+			return fmt.Errorf("histogram %s _count %v != +Inf bucket %v", hc.fam, hc.count, hc.infVal)
+		}
+	}
+	return nil
+}
+
+func seriesID(name string, labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	// Deterministic identity regardless of label order on the wire.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	for _, k := range keys {
+		b.WriteByte('\xfe')
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(labels[k])
+	}
+	return b.String()
+}
+
+// parseLabels parses the inside of a {…} label set.
+func parseLabels(s string) (map[string]string, error) {
+	out := map[string]string{}
+	for len(s) > 0 {
+		eq := strings.Index(s, "=")
+		if eq < 0 {
+			return nil, fmt.Errorf("malformed label pair %q", s)
+		}
+		name := strings.TrimSpace(s[:eq])
+		if !labelNameRe.MatchString(name) {
+			return nil, fmt.Errorf("illegal label name %q", name)
+		}
+		s = strings.TrimSpace(s[eq+1:])
+		if len(s) == 0 || s[0] != '"' {
+			return nil, fmt.Errorf("label %s value is not quoted", name)
+		}
+		s = s[1:]
+		var val strings.Builder
+		closed := false
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			if c == '\\' && i+1 < len(s) {
+				i++
+				switch s[i] {
+				case 'n':
+					val.WriteByte('\n')
+				case '\\', '"':
+					val.WriteByte(s[i])
+				default:
+					return nil, fmt.Errorf("bad escape \\%c in label %s", s[i], name)
+				}
+				continue
+			}
+			if c == '"' {
+				s = s[i+1:]
+				closed = true
+				break
+			}
+			val.WriteByte(c)
+		}
+		if !closed {
+			return nil, fmt.Errorf("unterminated value for label %s", name)
+		}
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("duplicate label %s", name)
+		}
+		out[name] = val.String()
+		s = strings.TrimSpace(s)
+		if strings.HasPrefix(s, ",") {
+			s = strings.TrimSpace(s[1:])
+		}
+	}
+	return out, nil
+}

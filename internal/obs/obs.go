@@ -1,0 +1,497 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind classifies a metric family.
+type Kind int
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+var kindNames = [...]string{"counter", "gauge", "histogram"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Registry is a set of metric families. The zero value is not usable;
+// call NewRegistry. A nil *Registry is a valid no-op sink: every
+// registration returns a nil instrument whose methods do nothing.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// family is one metric family: fixed name, help, kind and label names,
+// plus either live children (instrument-backed) or a snapshot callback.
+type family struct {
+	name    string
+	help    string
+	kind    Kind
+	labels  []string
+	buckets []float64 // histograms only: upper bounds, sorted, no +Inf
+
+	mu       sync.Mutex
+	children map[string]any // label-values key -> *Counter | *Gauge | *Histogram
+	collect  func() []Sample
+}
+
+// Sample is one series of a snapshot-backed family at gather time.
+type Sample struct {
+	// LabelValues align positionally with the family's label names.
+	LabelValues []string
+	Value       float64
+}
+
+// lvKey joins label values into a map key; \xff cannot appear in any
+// sane label value, so the join is unambiguous.
+func lvKey(lvs []string) string { return strings.Join(lvs, "\xff") }
+
+// register returns the family with this name, creating it if absent.
+// A name reused with a different kind or label arity panics: that is a
+// programming error two subsystems cannot both be right about.
+func (r *Registry) register(name, help string, kind Kind, labels []string, buckets []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("obs: %s re-registered as %s%v, was %s%v", name, kind, labels, f.kind, f.labels))
+		}
+		return f
+	}
+	f := &family{
+		name:     name,
+		help:     help,
+		kind:     kind,
+		labels:   append([]string(nil), labels...),
+		buckets:  append([]float64(nil), buckets...),
+		children: make(map[string]any),
+	}
+	sort.Float64s(f.buckets)
+	r.families[name] = f
+	return f
+}
+
+// Counter registers (or finds) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.CounterVec(name, help).WithLabelValues()
+}
+
+// CounterVec registers (or finds) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{fam: r.register(name, help, KindCounter, labels, nil)}
+}
+
+// Gauge registers (or finds) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.GaugeVec(name, help).WithLabelValues()
+}
+
+// GaugeVec registers (or finds) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return &GaugeVec{fam: r.register(name, help, KindGauge, labels, nil)}
+}
+
+// Histogram registers (or finds) an unlabeled fixed-bucket histogram.
+// buckets are upper bounds in seconds (or any unit); +Inf is implicit.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.HistogramVec(name, help, buckets).WithLabelValues()
+}
+
+// HistogramVec registers (or finds) a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	return &HistogramVec{fam: r.register(name, help, KindHistogram, labels, buckets)}
+}
+
+// GaugeFunc registers a snapshot-backed gauge: fn is called at gather
+// time. Re-registering replaces the callback (latest wins), so a
+// subsystem re-instrumented after a restart stays correct.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.SampleFunc(KindGauge, name, help, nil, func() []Sample { return []Sample{{Value: fn()}} })
+}
+
+// CounterFunc registers a snapshot-backed counter over an existing
+// monotonic source (an atomic some subsystem already keeps).
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.SampleFunc(KindCounter, name, help, nil, func() []Sample { return []Sample{{Value: fn()}} })
+}
+
+// SampleFunc registers a snapshot-backed family with dynamic series:
+// fn returns one Sample per series at gather time. This is the seam for
+// state with dynamic identity — per-peer ring health, gossip member
+// states — where pre-registering children is impossible.
+func (r *Registry) SampleFunc(kind Kind, name, help string, labels []string, fn func() []Sample) {
+	if r == nil {
+		return
+	}
+	f := r.register(name, help, kind, labels, nil)
+	f.mu.Lock()
+	f.collect = fn
+	f.mu.Unlock()
+}
+
+// --- instruments ------------------------------------------------------
+
+// Counter is a monotonically increasing value. All methods are nil-safe
+// and goroutine-safe.
+type Counter struct{ bits atomic.Uint64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds d; negative deltas are ignored (counters only go up).
+func (c *Counter) Add(d float64) {
+	if c == nil || d < 0 {
+		return
+	}
+	addFloat(&c.bits, d)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return math.Float64frombits(c.bits.Load())
+}
+
+// Gauge is a value that can go up and down. All methods are nil-safe
+// and goroutine-safe.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds d (which may be negative).
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	addFloat(&g.bits, d)
+}
+
+// Inc adds 1.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets. All methods are
+// nil-safe and goroutine-safe.
+type Histogram struct {
+	le      []float64 // upper bounds, sorted; +Inf implicit at len(le)
+	counts  []atomic.Uint64
+	sumBits atomic.Uint64
+	count   atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.le, v) // first bucket with le >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	addFloat(&h.sumBits, v)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+func addFloat(bits *atomic.Uint64, d float64) {
+	for {
+		old := bits.Load()
+		if bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// --- vecs -------------------------------------------------------------
+
+// CounterVec hands out per-label-set counters.
+type CounterVec struct{ fam *family }
+
+// WithLabelValues returns the counter for these label values, creating
+// it on first use. Nil-safe: a nil vec returns a nil (no-op) counter.
+func (v *CounterVec) WithLabelValues(lvs ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return v.fam.child(lvs, func() any { return new(Counter) }).(*Counter)
+}
+
+// GaugeVec hands out per-label-set gauges.
+type GaugeVec struct{ fam *family }
+
+// WithLabelValues returns the gauge for these label values, creating it
+// on first use. Nil-safe: a nil vec returns a nil (no-op) gauge.
+func (v *GaugeVec) WithLabelValues(lvs ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	return v.fam.child(lvs, func() any { return new(Gauge) }).(*Gauge)
+}
+
+// HistogramVec hands out per-label-set histograms.
+type HistogramVec struct{ fam *family }
+
+// WithLabelValues returns the histogram for these label values,
+// creating it on first use. Nil-safe: a nil vec returns a nil (no-op)
+// histogram.
+func (v *HistogramVec) WithLabelValues(lvs ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	mk := func() any {
+		return &Histogram{
+			le:     v.fam.buckets,
+			counts: make([]atomic.Uint64, len(v.fam.buckets)+1),
+		}
+	}
+	return v.fam.child(lvs, mk).(*Histogram)
+}
+
+func (f *family) child(lvs []string, mk func() any) any {
+	if len(lvs) != len(f.labels) {
+		panic(fmt.Sprintf("obs: %s wants %d label values, got %d", f.name, len(f.labels), len(lvs)))
+	}
+	k := lvKey(lvs)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[k]; ok {
+		return c
+	}
+	c := mk()
+	f.children[k] = c
+	return c
+}
+
+// --- gathering --------------------------------------------------------
+
+// Label is one name=value pair of a gathered series.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Series is one exposition line of a gathered family. For histograms
+// the Suffix distinguishes _bucket/_sum/_count series; bucket series
+// carry a trailing "le" label.
+type Series struct {
+	Suffix string // "", "_bucket", "_sum" or "_count"
+	Labels []Label
+	Value  float64
+}
+
+// Family is one gathered metric family, ready to render or inspect.
+type Family struct {
+	Name   string
+	Help   string
+	Kind   Kind
+	Series []Series
+}
+
+// Gather snapshots every family, sorted by name, with series in
+// deterministic (label-sorted) order — the single source WriteText,
+// Handler and test assertions all read.
+func (r *Registry) Gather() []Family {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	out := make([]Family, 0, len(fams))
+	for _, f := range fams {
+		out = append(out, f.gather())
+	}
+	return out
+}
+
+func (f *family) gather() Family {
+	out := Family{Name: f.name, Help: f.help, Kind: f.kind}
+	f.mu.Lock()
+	collect := f.collect
+	type kv struct {
+		key string
+		lvs []string
+		c   any
+	}
+	kids := make([]kv, 0, len(f.children))
+	for k, c := range f.children {
+		var lvs []string
+		if k != "" || len(f.labels) > 0 {
+			lvs = strings.Split(k, "\xff")
+		}
+		kids = append(kids, kv{k, lvs, c})
+	}
+	f.mu.Unlock()
+
+	if collect != nil {
+		samples := collect()
+		sort.Slice(samples, func(i, j int) bool {
+			return lvKey(samples[i].LabelValues) < lvKey(samples[j].LabelValues)
+		})
+		for _, s := range samples {
+			out.Series = append(out.Series, Series{Labels: f.pairs(s.LabelValues), Value: s.Value})
+		}
+		return out
+	}
+
+	sort.Slice(kids, func(i, j int) bool { return kids[i].key < kids[j].key })
+	for _, kid := range kids {
+		base := f.pairs(kid.lvs)
+		switch c := kid.c.(type) {
+		case *Counter:
+			out.Series = append(out.Series, Series{Labels: base, Value: c.Value()})
+		case *Gauge:
+			out.Series = append(out.Series, Series{Labels: base, Value: c.Value()})
+		case *Histogram:
+			cum := uint64(0)
+			for i, le := range c.le {
+				cum += c.counts[i].Load()
+				out.Series = append(out.Series, Series{
+					Suffix: "_bucket",
+					Labels: append(append([]Label(nil), base...), Label{"le", formatFloat(le)}),
+					Value:  float64(cum),
+				})
+			}
+			out.Series = append(out.Series, Series{
+				Suffix: "_bucket",
+				Labels: append(append([]Label(nil), base...), Label{"le", "+Inf"}),
+				Value:  float64(c.Count()),
+			})
+			out.Series = append(out.Series,
+				Series{Suffix: "_sum", Labels: base, Value: c.Sum()},
+				Series{Suffix: "_count", Labels: base, Value: float64(c.Count())})
+		}
+	}
+	return out
+}
+
+func (f *family) pairs(lvs []string) []Label {
+	if len(lvs) == 0 {
+		return nil
+	}
+	out := make([]Label, len(f.labels))
+	for i, n := range f.labels {
+		v := ""
+		if i < len(lvs) {
+			v = lvs[i]
+		}
+		out[i] = Label{n, v}
+	}
+	return out
+}
+
+// Sum adds up the current values of every series of family name whose
+// labels include all of match — a test- and assertion-friendly reader.
+// Histogram families sum their _count series.
+func (r *Registry) Sum(name string, match map[string]string) float64 {
+	if r == nil {
+		return 0
+	}
+	total := 0.0
+	for _, fam := range r.Gather() {
+		if fam.Name != name {
+			continue
+		}
+		for _, s := range fam.Series {
+			if fam.Kind == KindHistogram && s.Suffix != "_count" {
+				continue
+			}
+			ok := true
+			for k, v := range match {
+				found := false
+				for _, l := range s.Labels {
+					if l.Name == k && l.Value == v {
+						found = true
+						break
+					}
+				}
+				if !found {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				total += s.Value
+			}
+		}
+	}
+	return total
+}

@@ -1,0 +1,318 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log/slog"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeSemantics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total", "a counter")
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-1) // ignored: counters only go up
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %v, want 3.5", got)
+	}
+	g := r.Gauge("g", "a gauge")
+	g.Set(10)
+	g.Dec()
+	g.Add(-2)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %v, want 7", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("a_total", "").Inc()
+	r.Gauge("b", "").Set(1)
+	r.Histogram("c", "", []float64{1}).Observe(0.5)
+	r.CounterVec("d_total", "", "l").WithLabelValues("x").Add(2)
+	r.GaugeFunc("e", "", func() float64 { return 1 })
+	r.SampleFunc(KindGauge, "f", "", nil, nil)
+	if got := r.Gather(); got != nil {
+		t.Fatalf("nil registry gathered %v", got)
+	}
+	if got := r.Sum("a_total", nil); got != 0 {
+		t.Fatalf("nil registry Sum = %v", got)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil registry rendered %q (%v)", buf.String(), err)
+	}
+}
+
+func TestRegistrationIsGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("same_total", "h")
+	b := r.Counter("same_total", "h")
+	if a != b {
+		t.Fatal("re-registration returned a different instrument")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("instruments not shared")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("conflicting re-registration did not panic")
+		}
+	}()
+	r.Gauge("same_total", "h") // different kind: programmer error
+}
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.05, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`lat_seconds_bucket{le="0.1"} 2`,
+		`lat_seconds_bucket{le="1"} 3`,
+		`lat_seconds_bucket{le="10"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		`lat_seconds_count 5`,
+		`lat_seconds_sum 55.6`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if h.Count() != 5 || math.Abs(h.Sum()-55.6) > 1e-9 {
+		t.Fatalf("count=%d sum=%v", h.Count(), h.Sum())
+	}
+	// A value exactly on a bound lands in that bucket (le is <=).
+	h2 := r.Histogram("edge_seconds", "", []float64{1, 2})
+	h2.Observe(1)
+	fams := r.Gather()
+	for _, f := range fams {
+		if f.Name != "edge_seconds" {
+			continue
+		}
+		if f.Series[0].Value != 1 {
+			t.Fatalf("boundary observation missed le=1 bucket: %+v", f.Series)
+		}
+	}
+}
+
+func TestRenderEscapingAndOrdering(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("esc_total", "help with \\ and\nnewline", "path")
+	v.WithLabelValues("b\"quote").Inc()
+	v.WithLabelValues(`a\slash`).Inc()
+	v.WithLabelValues("c\nline").Inc()
+	r.Gauge("aaa_first", "sorts before esc_total")
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `# HELP esc_total help with \\ and\nnewline`) {
+		t.Errorf("help not escaped:\n%s", out)
+	}
+	for _, want := range []string{
+		`esc_total{path="a\\slash"} 1`,
+		`esc_total{path="b\"quote"} 1`,
+		`esc_total{path="c\nline"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Families sort by name; series sort by label values.
+	if strings.Index(out, "aaa_first") > strings.Index(out, "esc_total") {
+		t.Errorf("families out of order:\n%s", out)
+	}
+	if strings.Index(out, `a\\slash`) > strings.Index(out, `b\"quote`) {
+		t.Errorf("series out of order:\n%s", out)
+	}
+	// Determinism: two renders are byte-identical.
+	var buf2 bytes.Buffer
+	r.WriteText(&buf2)
+	if buf.String() != buf2.String() {
+		t.Fatal("renders differ between calls")
+	}
+}
+
+func TestSampleFuncAndSum(t *testing.T) {
+	r := NewRegistry()
+	state := map[string]float64{"up": 2, "down": 1}
+	var mu sync.Mutex
+	r.SampleFunc(KindGauge, "peers", "peer states", []string{"state"}, func() []Sample {
+		mu.Lock()
+		defer mu.Unlock()
+		var out []Sample
+		for k, v := range state {
+			out = append(out, Sample{LabelValues: []string{k}, Value: v})
+		}
+		return out
+	})
+	if got := r.Sum("peers", nil); got != 3 {
+		t.Fatalf("Sum all = %v, want 3", got)
+	}
+	if got := r.Sum("peers", map[string]string{"state": "up"}); got != 2 {
+		t.Fatalf("Sum up = %v, want 2", got)
+	}
+	mu.Lock()
+	state["down"] = 5
+	mu.Unlock()
+	if got := r.Sum("peers", map[string]string{"state": "down"}); got != 5 {
+		t.Fatalf("snapshot family did not track live state: %v", got)
+	}
+}
+
+func TestRenderedOutputPassesLint(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "counter").Add(3)
+	r.GaugeVec("b_things", "gauge", "kind").WithLabelValues("x{}\"\\,").Set(-2)
+	h := r.Histogram("c_seconds", "hist", []float64{0.01, 0.1, 1})
+	h.Observe(0.5)
+	h.Observe(2)
+	r.CounterFunc("d_total", "func counter", func() float64 { return 9 })
+	r.SampleFunc(KindGauge, "e_members", "by state", []string{"state"}, func() []Sample {
+		return []Sample{{LabelValues: []string{"alive"}, Value: 1}}
+	})
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := Lint(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("own output fails lint: %v\n%s", err, buf.String())
+	}
+	if len(fams) != 5 {
+		t.Fatalf("lint saw families %v, want 5", fams)
+	}
+}
+
+func TestLintRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"no families":        "",
+		"sample before TYPE": "x_total 1\n",
+		"counter not _total": "# TYPE x counter\nx 1\n",
+		"bad value":          "# TYPE x gauge\nx one\n",
+		"bad name":           "# TYPE 9x gauge\n9x 1\n",
+		"duplicate series":   "# TYPE x gauge\nx 1\nx 2\n",
+		"duplicate TYPE":     "# TYPE x gauge\n# TYPE x gauge\n",
+		"negative counter":   "# TYPE x_total counter\nx_total -1\n",
+		"unquoted label":     "# TYPE x gauge\nx{l=v} 1\n",
+		"non-cumulative histogram": "# TYPE h histogram\n" +
+			`h_bucket{le="1"} 5` + "\n" + `h_bucket{le="2"} 3` + "\n" + `h_bucket{le="+Inf"} 5` + "\n",
+		"histogram without +Inf": "# TYPE h histogram\n" + `h_bucket{le="1"} 1` + "\nh_count 1\nh_sum 1\n",
+		"count != +Inf bucket": "# TYPE h histogram\n" +
+			`h_bucket{le="+Inf"} 2` + "\nh_count 3\nh_sum 1\n",
+	}
+	for name, in := range cases {
+		if _, err := Lint(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: lint accepted %q", name, in)
+		}
+	}
+	// And a well-formed stream with label order shuffled still passes.
+	ok := "# HELP h hist\n# TYPE h histogram\n" +
+		`h_bucket{x="1",le="1"} 1` + "\n" + `h_bucket{le="+Inf",x="1"} 2` + "\n" +
+		`h_sum{x="1"} 3` + "\n" + `h_count{x="1"} 2` + "\n"
+	if _, err := Lint(strings.NewReader(ok)); err != nil {
+		t.Errorf("well-formed stream rejected: %v", err)
+	}
+}
+
+func TestHandlerServesText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("served_total", "x").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != TextContentType {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "served_total 1") {
+		t.Fatalf("body %q", rec.Body.String())
+	}
+}
+
+// TestConcurrentUpdates hammers one registry from many goroutines (run
+// with -race): instrument updates, vec child creation, and renders must
+// all be safe together, and no update may be lost.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hits_total", "")
+	vec := r.CounterVec("routed_total", "", "route")
+	h := r.Histogram("lat_seconds", "", []float64{0.5})
+	const workers, each = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				c.Inc()
+				vec.WithLabelValues(fmt.Sprintf("r%d", i%3)).Inc()
+				h.Observe(float64(i%2) + 0.25)
+				if i%100 == 0 {
+					var buf bytes.Buffer
+					if err := r.WriteText(&buf); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*each {
+		t.Fatalf("lost counter updates: %v", got)
+	}
+	if got := r.Sum("routed_total", nil); got != workers*each {
+		t.Fatalf("lost vec updates: %v", got)
+	}
+	if h.Count() != workers*each {
+		t.Fatalf("lost observations: %d", h.Count())
+	}
+}
+
+func TestRequestIDContext(t *testing.T) {
+	ctx := context.Background()
+	if got := RequestID(ctx); got != "" {
+		t.Fatalf("empty ctx has id %q", got)
+	}
+	ctx = WithRequestID(ctx, "abc123")
+	if got := RequestID(ctx); got != "abc123" {
+		t.Fatalf("id %q", got)
+	}
+	a, b := NewRequestID(), NewRequestID()
+	if a == b || len(a) != 16 {
+		t.Fatalf("ids %q %q", a, b)
+	}
+}
+
+func TestLogfLogger(t *testing.T) {
+	var lines []string
+	lg := LogfLogger(func(format string, v ...any) {
+		lines = append(lines, fmt.Sprintf(format, v...))
+	})
+	lg.Error("boom", "path", "/v1/x", "err", "secret detail: /var/lib")
+	lg.With(slog.String("peer", "w1")).Info("ejected")
+	if len(lines) != 2 {
+		t.Fatalf("lines %v", lines)
+	}
+	if !strings.Contains(lines[0], "boom") || !strings.Contains(lines[0], "secret detail: /var/lib") ||
+		!strings.Contains(lines[0], "path=/v1/x") {
+		t.Fatalf("line %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "peer=w1") {
+		t.Fatalf("line %q", lines[1])
+	}
+}

@@ -10,6 +10,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"dramtherm/internal/obs"
 )
 
 // numShards keeps shard-lock contention negligible even when every
@@ -30,6 +33,8 @@ type Cache[V any] struct {
 	builds atomic.Int64 // builder invocations (unique work)
 	hits   atomic.Int64 // completed-entry lookups
 	waits  atomic.Int64 // joins of an in-flight build (deduplicated work)
+
+	buildDur *obs.Histogram // leader build latency; nil until Instrument
 }
 
 type shard[V any] struct {
@@ -154,7 +159,14 @@ func (c *Cache[V]) DoTraced(ctx context.Context, key Key, build func(context.Con
 			return zero, Built, ctx.Err()
 		}
 		c.builds.Add(1)
+		var t0 time.Time
+		if c.buildDur != nil {
+			t0 = time.Now()
+		}
 		v, err := build(ctx)
+		if c.buildDur != nil {
+			c.buildDur.Observe(time.Since(t0).Seconds())
+		}
 		<-c.sem
 
 		if err != nil {

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"dramtherm/internal/obs"
 )
 
 // JobKind tags what a job executes.
@@ -107,6 +109,8 @@ type Jobs struct {
 	reaper *time.Ticker
 	stop   chan struct{}
 	once   sync.Once
+
+	evictions *obs.CounterVec // by reason; nil until Instrument
 }
 
 // NewJobs builds a registry and, when opts.TTL > 0, starts its
@@ -263,6 +267,7 @@ func (r *Jobs) Cancel(id string) (evicted, ok bool) {
 	}
 	if j.status.Terminal() {
 		r.deleteLocked(id)
+		r.evictions.WithLabelValues("cancel").Inc()
 		r.mu.Unlock()
 		return true, true
 	}
@@ -286,6 +291,7 @@ func (r *Jobs) Reap() int {
 	for id, j := range r.jobs {
 		if j.status.Terminal() && j.finished != nil && j.finished.Before(cutoff) {
 			r.deleteLocked(id)
+			r.evictions.WithLabelValues("ttl").Inc()
 			n++
 		}
 	}
@@ -316,6 +322,7 @@ func (r *Jobs) evictOldestFinishedLocked(n int) {
 		}
 		if j := r.jobs[id]; j != nil && j.status.Terminal() {
 			r.deleteLocked(id)
+			r.evictions.WithLabelValues("capacity").Inc()
 			n--
 		}
 	}

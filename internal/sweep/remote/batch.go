@@ -11,6 +11,7 @@ import (
 	"sort"
 	"sync"
 
+	"dramtherm/internal/obs"
 	"dramtherm/internal/sim"
 	"dramtherm/internal/sweep"
 )
@@ -143,6 +144,7 @@ func (b *Backend) runBatch(ctx context.Context, specs []sweep.Spec, idxs []int, 
 		if p == nil {
 			// The owner left the membership between planning and dispatch:
 			// re-plan its shard on the current ring.
+			b.mReplan.Inc()
 			wg.Add(1)
 			go func(mapped []int) {
 				defer wg.Done()
@@ -160,6 +162,7 @@ func (b *Backend) runBatch(ctx context.Context, specs []sweep.Spec, idxs []int, 
 				unacked = b.dispatchSingles(ctx, p, specs, unacked, deliver)
 			}
 			if len(unacked) > 0 {
+				b.mReplan.Inc()
 				b.runBatch(ctx, specs, unacked, deliver, budget-1)
 			}
 		}(p, mapped)
@@ -195,6 +198,7 @@ func (b *Backend) dispatchBatch(ctx context.Context, p *peer, specs []sweep.Spec
 		return nil, false
 	}
 	p.requests.Add(1)
+	b.mDispatch.WithLabelValues(p.id, "batch").Inc()
 	breq := BatchRequest{Specs: make([]sweep.Spec, len(idxs))}
 	for j, i := range idxs {
 		breq.Specs[j] = specs[i]
@@ -214,6 +218,9 @@ func (b *Backend) dispatchBatch(ctx context.Context, p *peer, specs []sweep.Spec
 		return nil, false
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if id := obs.RequestID(ctx); id != "" {
+		req.Header.Set(obs.RequestIDHeader, id)
+	}
 	resp, err := b.client.Do(req)
 	if err != nil {
 		if ctx.Err() != nil {
@@ -301,7 +308,7 @@ func (b *Backend) decodeBatchStream(ctx context.Context, p *peer, body io.Reader
 		}
 		return out
 	}
-	dec := json.NewDecoder(body)
+	dec := json.NewDecoder(&countingReader{r: body, c: b.mStreamBytes})
 	for n := 0; n < len(idxs); n++ {
 		var line BatchLine
 		if err := dec.Decode(&line); err != nil {
@@ -313,6 +320,7 @@ func (b *Backend) decodeBatchStream(ctx context.Context, p *peer, body io.Reader
 			b.eject(p, fmt.Errorf("batch stream: %w", err))
 			return remaining()
 		}
+		b.mStreamLines.Inc()
 		if line.Index < 0 || line.Index >= len(idxs) || acked[line.Index] {
 			b.eject(p, fmt.Errorf("batch protocol: unexpected line index %d", line.Index))
 			return remaining()

@@ -2,6 +2,7 @@ package gossip
 
 import (
 	"encoding/json"
+	"log/slog"
 	"reflect"
 	"testing"
 	"time"
@@ -32,7 +33,7 @@ func FuzzGossipDecode(f *testing.F) {
 			{ID: "w1", URL: "http://w1", Incarnation: 1},
 			{ID: "w2", URL: "http://w2", Incarnation: 2, State: Suspect},
 		})
-		n := &Node{cfg: Config{Self: Member{ID: "self", URL: "http://self"}}, table: tb, logf: func(string, ...any) {}}
+		n := &Node{cfg: Config{Self: Member{ID: "self", URL: "http://self"}}, table: tb, log: slog.New(slog.DiscardHandler)}
 		before := tb.Snapshot()
 		beforeVersion := tb.Version()
 

@@ -19,6 +19,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"dramtherm/internal/obs"
 )
 
 // Path is the HTTP exchange endpoint served by internal/httpapi: POST
@@ -123,6 +125,8 @@ type Table struct {
 	now          func() time.Time
 	suspectAfter time.Duration
 	quarantine   time.Duration
+
+	transitions *obs.CounterVec // {to}; nil (no-op) until Node.Instrument
 }
 
 // NewTable builds a table containing only self, alive at incarnation 0.
@@ -190,6 +194,7 @@ func (t *Table) Merge(ms []Member) (changed bool) {
 			if m.State != Alive && m.Incarnation >= t.selfInc {
 				t.selfInc = m.Incarnation + 1
 				t.refuteLocked(now)
+				t.transitions.WithLabelValues("refuted").Inc()
 				changed = true
 			}
 			continue
@@ -205,11 +210,13 @@ func (t *Table) Merge(ms []Member) (changed bool) {
 				continue
 			}
 			t.entries[m.ID] = &entry{m: m, since: now}
+			t.transitions.WithLabelValues("joined").Inc()
 			changed = true
 		case m.Incarnation > e.m.Incarnation,
 			m.Incarnation == e.m.Incarnation && m.State > e.m.State:
 			if m.State != e.m.State {
 				e.since = now
+				t.transitions.WithLabelValues(m.State.String()).Inc()
 			}
 			e.m = m
 			changed = true
@@ -249,6 +256,7 @@ func (t *Table) Suspect(id string) (changed bool) {
 	}
 	e.m.State = Suspect
 	e.since = t.now()
+	t.transitions.WithLabelValues("suspect").Inc()
 	t.version++
 	return true
 }
@@ -267,6 +275,7 @@ func (t *Table) Alive(id string) (changed bool) {
 	}
 	e.m.State = Alive
 	e.since = t.now()
+	t.transitions.WithLabelValues("alive").Inc()
 	t.version++
 	return true
 }
@@ -288,11 +297,13 @@ func (t *Table) Tick() (changed bool) {
 			if t.suspectAfter >= 0 && now.Sub(e.since) >= t.suspectAfter {
 				e.m.State = Dead
 				e.since = now
+				t.transitions.WithLabelValues("dead").Inc()
 				changed = true
 			}
 		case Dead:
 			if t.quarantine >= 0 && now.Sub(e.since) >= t.quarantine {
 				delete(t.entries, id)
+				t.transitions.WithLabelValues("forgotten").Inc()
 				changed = true
 			}
 		}

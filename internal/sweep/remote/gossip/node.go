@@ -7,10 +7,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"sync"
 	"time"
+
+	"dramtherm/internal/obs"
 )
 
 // Transport carries one exchange to the member at url and returns its
@@ -54,8 +57,12 @@ type Config struct {
 	// Seed seeds peer selection; 0 means a time-derived seed. Tests pin
 	// it for reproducible rounds.
 	Seed int64
-	// Logf sinks exchange-failure logs (default: silent).
+	// Logf sinks exchange-failure logs (default: silent). When Logger is
+	// unset, log records are rendered onto Logf one line each.
 	Logf func(format string, v ...any)
+	// Logger, when non-nil, receives structured exchange-failure events
+	// and takes precedence over Logf.
+	Logger *slog.Logger
 	// Now overrides the clock, for tests.
 	Now func() time.Time
 }
@@ -67,7 +74,11 @@ type Config struct {
 type Node struct {
 	cfg   Config
 	table *Table
-	logf  func(format string, v ...any)
+	log   *slog.Logger
+
+	// Instrumentation; nil (no-op) until Instrument.
+	mRounds    *obs.Counter
+	mExchanges *obs.CounterVec // {direction, result}
 
 	rndMu sync.Mutex
 	rnd   *rand.Rand
@@ -113,12 +124,16 @@ func NewNode(cfg Config) (*Node, error) {
 	}
 	n := &Node{
 		cfg:  cfg,
-		logf: cfg.Logf,
+		log:  cfg.Logger,
 		rnd:  rand.New(rand.NewSource(cfg.Seed)),
 		stop: make(chan struct{}),
 	}
-	if n.logf == nil {
-		n.logf = func(string, ...any) {}
+	if n.log == nil {
+		if cfg.Logf != nil {
+			n.log = obs.LogfLogger(cfg.Logf)
+		} else {
+			n.log = slog.New(slog.DiscardHandler)
+		}
 	}
 	if n.cfg.Transport == nil {
 		client := cfg.Client
@@ -173,6 +188,7 @@ func (n *Node) Alive(id string) {
 // caller's table, answer with ours. internal/httpapi wires it to
 // POST /v1/gossip.
 func (n *Node) HandleExchange(msg Message) Message {
+	n.mExchanges.WithLabelValues("in", "ok").Inc()
 	if n.table.Merge(msg.Members) {
 		n.notify()
 	}
@@ -183,6 +199,7 @@ func (n *Node) HandleExchange(msg Message) Message {
 // transitions, then push-pull with Fanout random dialable members. The
 // background loop calls it every Interval; tests drive it directly.
 func (n *Node) Round(ctx context.Context) {
+	n.mRounds.Inc()
 	if n.table.Tick() {
 		n.notify()
 	}
@@ -192,7 +209,8 @@ func (n *Node) Round(ctx context.Context) {
 		reply, err := n.cfg.Transport(tctx, m.URL, Message{From: n.cfg.Self.ID, Members: n.table.Snapshot()})
 		cancel()
 		if err != nil {
-			n.logf("gossip: exchange with %s failed: %v", m.ID, err)
+			n.mExchanges.WithLabelValues("out", "error").Inc()
+			n.log.Warn("gossip: exchange failed", "peer", m.ID, "err", err.Error())
 			// A failed exchange is a detector signal of its own: suspect
 			// the member so an unreachable node is eventually evicted
 			// even when nothing else probes it.
@@ -201,6 +219,7 @@ func (n *Node) Round(ctx context.Context) {
 			}
 			continue
 		}
+		n.mExchanges.WithLabelValues("out", "ok").Inc()
 		changed := n.table.Merge(reply.Members)
 		// The member answered: clear any lingering local suspicion.
 		changed = n.table.Alive(m.ID) || changed
@@ -208,6 +227,41 @@ func (n *Node) Round(ctx context.Context) {
 			n.notify()
 		}
 	}
+}
+
+// Instrument registers the node's metric families on reg: gossip rounds
+// and exchanges, membership state transitions, the table version, and
+// members by state (counted from the same Snapshot healthz membership
+// reports). Call it once, before the gossip loop starts exchanging; a
+// nil reg is a no-op.
+func (n *Node) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	n.mRounds = reg.Counter("dramtherm_gossip_rounds_total",
+		"Gossip rounds performed (background loop ticks plus direct Round calls).")
+	n.mExchanges = reg.CounterVec("dramtherm_gossip_exchanges_total",
+		"Push-pull exchanges, by direction (out: initiated, in: served) and result.",
+		"direction", "result")
+	n.table.transitions = reg.CounterVec("dramtherm_gossip_transitions_total",
+		"Membership table transitions, by destination: joined, alive, suspect, dead, forgotten, refuted (self rumor rebutted).",
+		"to")
+	reg.GaugeFunc("dramtherm_gossip_table_version",
+		"Membership table version; bumps on every visible change.",
+		func() float64 { return float64(n.table.Version()) })
+	reg.SampleFunc(obs.KindGauge, "dramtherm_gossip_members",
+		"Membership table rows by state, self included.",
+		[]string{"state"}, func() []obs.Sample {
+			counts := map[State]int{}
+			for _, m := range n.Members() {
+				counts[m.State]++
+			}
+			out := make([]obs.Sample, 0, len(stateNames))
+			for s := Alive; s <= Dead; s++ {
+				out = append(out, obs.Sample{LabelValues: []string{s.String()}, Value: float64(counts[s])})
+			}
+			return out
+		})
 }
 
 // pickTargets selects up to Fanout distinct non-self, non-dead members

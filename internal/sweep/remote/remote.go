@@ -7,12 +7,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"dramtherm/internal/obs"
 	"dramtherm/internal/sim"
 	"dramtherm/internal/sweep"
 )
@@ -77,8 +79,12 @@ type Config struct {
 	// Client overrides the HTTP client (default: a client whose
 	// transport keeps MaxPerPeer idle connections per peer).
 	Client *http.Client
-	// Logf sinks ejection/readmission logs (default: silent).
+	// Logf sinks ejection/readmission logs (default: silent). When
+	// Logger is unset, log records are rendered onto Logf one line each.
 	Logf func(format string, v ...any)
+	// Logger, when non-nil, receives structured membership and peer
+	// state-transition events and takes precedence over Logf.
+	Logger *slog.Logger
 	// Now overrides the clock, for tests.
 	Now func() time.Time
 	// OnPeerDown, when non-nil, observes every up→down transition — the
@@ -103,13 +109,23 @@ type Backend struct {
 	client    *http.Client
 	ownClient bool // we built the client, so Close may reap its idle conns
 	now       func() time.Time
-	logf      func(format string, v ...any)
+	log       *slog.Logger
 
 	mu        sync.RWMutex // guards membership, peer state transitions and the ring pointer
 	peers     []*peer      // current membership (SetMembers rewrites it)
 	ring      *ring
 	ringPeers []*peer      // the membership snapshot ring indices point into
 	down      atomic.Int32 // ejected-peer count; lets the hot path skip readmitExpired
+
+	// Instrumentation; all nil (and therefore no-ops) until Instrument.
+	mDispatch    *obs.CounterVec // {peer, kind}
+	mTransition  *obs.CounterVec // {peer, to}
+	mFailover    *obs.Counter
+	mReplan      *obs.Counter
+	mMoved       *obs.Counter
+	mStreamBytes *obs.Counter
+	mStreamLines *obs.Counter
+	prevOwners   []string // probe-key owners at the last rebuild (guarded by mu)
 
 	stop chan struct{}
 	once sync.Once
@@ -161,7 +177,7 @@ func New(cfg Config) (*Backend, error) {
 		cfg:    cfg,
 		client: cfg.Client,
 		now:    cfg.Now,
-		logf:   cfg.Logf,
+		log:    cfg.Logger,
 		stop:   make(chan struct{}),
 	}
 	if b.client == nil {
@@ -171,8 +187,12 @@ func New(cfg Config) (*Backend, error) {
 	if b.now == nil {
 		b.now = time.Now
 	}
-	if b.logf == nil {
-		b.logf = func(string, ...any) {}
+	if b.log == nil {
+		if cfg.Logf != nil {
+			b.log = obs.LogfLogger(cfg.Logf)
+		} else {
+			b.log = slog.New(slog.DiscardHandler)
+		}
 	}
 	seen := make(map[string]bool, len(cfg.Peers))
 	for _, pc := range cfg.Peers {
@@ -282,7 +302,8 @@ func (b *Backend) SetMembers(peers []Peer) {
 	}
 	b.mu.Unlock()
 	if changed {
-		b.logf("remote: membership now %d peer(s) (+%v -%v)", len(next), joined, left)
+		b.log.Info("remote: membership changed",
+			"peers", len(next), "joined", fmt.Sprint(joined), "left", fmt.Sprint(left))
 	}
 }
 
@@ -321,6 +342,7 @@ func (b *Backend) Probe(ctx context.Context) {
 			}
 		}
 		cancel()
+		b.mDispatch.WithLabelValues(p.id, "probe").Inc()
 		if err != nil {
 			b.eject(p, err)
 		} else {
@@ -362,6 +384,7 @@ func (b *Backend) RunSpec(ctx context.Context, spec sweep.Spec) (sim.MEMSpotResu
 			return sim.MEMSpotResult{}, sweep.RunInfo{}, err
 		}
 		b.eject(p, pe.err)
+		b.mFailover.Inc()
 		lastErr = pe
 	}
 	if b.cfg.Local == nil {
@@ -384,6 +407,7 @@ func (b *Backend) dispatch(ctx context.Context, p *peer, spec sweep.Spec) (sim.M
 		return zero, sweep.RunInfo{}, ctx.Err()
 	}
 	p.requests.Add(1)
+	b.mDispatch.WithLabelValues(p.id, "exec").Inc()
 	body, err := json.Marshal(spec)
 	if err != nil {
 		return zero, sweep.RunInfo{}, err
@@ -393,6 +417,9 @@ func (b *Backend) dispatch(ctx context.Context, p *peer, spec sweep.Spec) (sim.M
 		return zero, sweep.RunInfo{}, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if id := obs.RequestID(ctx); id != "" {
+		req.Header.Set(obs.RequestIDHeader, id)
+	}
 	resp, err := b.client.Do(req)
 	if err != nil {
 		if ctx.Err() != nil {
@@ -465,7 +492,8 @@ func (b *Backend) eject(p *peer, cause error) {
 			b.down.Add(1)
 			b.rebuildLocked()
 		}
-		b.logf("remote: ejecting %s: %v", p.id, cause)
+		b.mTransition.WithLabelValues(p.id, "down").Inc()
+		b.log.Warn("remote: peer ejected", "peer", p.id, "err", cause.Error())
 	}
 	b.mu.Unlock()
 	if ejected && b.cfg.OnPeerDown != nil {
@@ -484,7 +512,8 @@ func (b *Backend) readmit(p *peer) {
 			b.down.Add(-1)
 			b.rebuildLocked()
 		}
-		b.logf("remote: readmitting %s", p.id)
+		b.mTransition.WithLabelValues(p.id, "up").Inc()
+		b.log.Info("remote: peer readmitted", "peer", p.id)
 	}
 	b.mu.Unlock()
 	if readmitted && b.cfg.OnPeerUp != nil {
@@ -508,7 +537,8 @@ func (b *Backend) readmitExpired() {
 			p.up = true
 			b.down.Add(-1)
 			changed = true
-			b.logf("remote: retrying %s after backoff", p.id)
+			b.mTransition.WithLabelValues(p.id, "half_open").Inc()
+			b.log.Info("remote: retrying peer after backoff", "peer", p.id)
 		}
 	}
 	if changed {
@@ -531,6 +561,7 @@ func (b *Backend) rebuildLocked() {
 	}
 	b.ring = buildRing(ids, members, b.cfg.Vnodes)
 	b.ringPeers = append([]*peer(nil), b.peers...)
+	b.countMovedLocked()
 }
 
 // OwnerOf reports the id of the ring member spec currently routes to —
