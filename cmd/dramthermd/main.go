@@ -8,7 +8,7 @@
 // Usage:
 //
 //	dramthermd -addr :8080
-//	dramthermd -addr :8080 -workers 8 -state /var/lib/dramtherm/state.gob
+//	dramthermd -addr :8080 -workers 8 -segment-dir /var/lib/dramtherm/state
 //	dramthermd -job-ttl 1h -max-jobs 4096
 //	dramthermd -peers http://w1:8080,http://w2:8080   # cluster coordinator
 //	dramthermd -peers @/etc/dramtherm/peers            # one URL per line
@@ -45,6 +45,7 @@
 //	GET    /metrics              Prometheus text exposition (cache, pool, jobs, HTTP, ring, gossip)
 //	GET    /debug/pprof/         runtime profiles (opt-in via -pprof)
 //	POST   /v1/gossip            anti-entropy membership exchange (with -gossip)
+//	POST   /v1/handoff           cache replication ingest: NDJSON result stream (with -replication)
 //	POST   /v1/exec              synchronous single-run execution (cluster dispatch)
 //	POST   /v1/exec/batch        shard execution: specs in, streamed NDJSON outcomes out
 //	POST   /v1/runs              async submit: {"mix":"W1","policy":"DTM-ACG"} → {"id":"run-1"}
@@ -56,9 +57,18 @@
 //	                             {"grid":{"mixes":["W1","W2"],"policies":["DTM-TS","DTM-BW"]},
 //	                              "normalize":true}
 //
-// On SIGINT/SIGTERM the server shuts down gracefully: it stops accepting
-// requests, cancels in-flight simulations, and (with -state) persists the
-// run cache and level-1 trace store for a warm restart.
+// With -segment-dir the run cache and level-1 trace store are durable:
+// every completed result is appended to a crash-safe segment log as it
+// finishes (not on shutdown), replayed at boot, and compacted in the
+// background. -state names a legacy gob blob from older releases; it is
+// migrated into <path>.d once and aliased there from then on. With
+// -replication each completed result is also pushed to its key's ring
+// successor over POST /v1/handoff (RF=2), cached shards stream to new
+// owners on membership changes, and a dead primary's replica holder is
+// promoted in place — so a worker crash loses no cached result.
+//
+// On SIGINT/SIGTERM the server shuts down gracefully: it stops
+// accepting requests and cancels in-flight simulations.
 package main
 
 import (
@@ -87,7 +97,7 @@ import (
 )
 
 // version is reported by GET /v1/healthz.
-const version = "0.6.0"
+const version = "0.7.0"
 
 // parsePeers expands the -peers flag: either a comma-separated list of
 // entries or @path naming a file with one entry per line (blank lines
@@ -160,7 +170,10 @@ func main() {
 		workers  = flag.Int("workers", 0, "simulation worker pool width (0 = GOMAXPROCS; with -peers, cluster capacity + GOMAXPROCS)")
 		replicas = flag.Int("replicas", 0, "batch copies per application (0 = Chapter 4 default)")
 		scale    = flag.Float64("instrscale", 0, "application length scale factor (0 = 1.0; small values for demos)")
-		state    = flag.String("state", "", "gob state file: loaded at startup if present, saved on shutdown")
+		state    = flag.String("state", "", "legacy gob state file: migrated once into <path>.d segment logs (alias for -segment-dir <path>.d)")
+		segDir   = flag.String("segment-dir", "", "durable state: append-only segment-log directory; results persist as they complete and replay on boot")
+		compact  = flag.Duration("compact-interval", 10*time.Minute, "segment-log compaction period (0 disables background compaction)")
+		replicat = flag.Bool("replication", false, "with -peers: replicate each completed result to its key's ring successor (RF=2) and hand cached shards to new owners on membership changes")
 		jobTTL   = flag.Duration("job-ttl", 15*time.Minute, "evict finished jobs this long after completion (0 disables eviction)")
 		maxJobs  = flag.Int("max-jobs", sweep.DefaultMaxJobs, "job registry bound; submissions beyond it are rejected while all jobs run")
 		peers    = flag.String("peers", "", "cluster mode: comma-separated peer URLs (optionally id=url), or @file with one per line")
@@ -240,12 +253,33 @@ func main() {
 	eng := sweep.NewEngine(core.NewSystem(cfg), poolWidth)
 	eng.Instrument(reg)
 
-	if *state != "" {
-		switch loaded, err := eng.LoadStateFile(*state); {
-		case err != nil:
-			logger.Warn("state not loaded", "path", *state, "err", err.Error())
-		case loaded:
-			logger.Info("state loaded", "path", *state, "traces", eng.System().Store().Len())
+	// -state is a migrating alias for -segment-dir: the legacy gob blob
+	// (if any) is imported once into <path>.d and renamed aside; from
+	// then on the segment log under that directory is the state.
+	stateDir := *segDir
+	if stateDir == "" && *state != "" {
+		stateDir = *state + ".d"
+	}
+	if stateDir != "" {
+		if err := eng.EnableSegmentLog(stateDir, *compact); err != nil {
+			fatalf("-segment-dir: %v", err)
+		}
+		defer func() {
+			if err := eng.Close(); err != nil {
+				logger.Warn("state close", "err", err.Error())
+			}
+		}()
+		if *state != "" {
+			switch migrated, err := eng.MigrateLegacyStateFile(*state); {
+			case err != nil:
+				fatalf("-state: migrating %s: %v", *state, err)
+			case migrated:
+				logger.Info("legacy state migrated", "from", *state, "to", stateDir)
+			}
+		}
+		if st, ok := eng.StateStats(); ok {
+			logger.Info("state replayed", "dir", stateDir, "segments", st.Segments,
+				"bytes", st.Bytes, "traces", eng.System().Store().Len())
 		}
 	}
 
@@ -269,12 +303,14 @@ func main() {
 			probeEvery = -1 // flag convention: 0 disables; Config uses <0 for that
 		}
 		bcfg := remote.Config{
-			Peers:      peerList,
-			Key:        eng.Key,
-			Local:      eng.Exec,
-			MaxPerPeer: *perPeer,
-			ProbeEvery: probeEvery,
-			Logger:     logger,
+			Peers:       peerList,
+			Key:         eng.Key,
+			Local:       eng.Exec,
+			MaxPerPeer:  *perPeer,
+			ProbeEvery:  probeEvery,
+			Logger:      logger,
+			Replication: *replicat,
+			Entries:     eng.Range,
 		}
 		if *gossipOn {
 			// Ring-probe ejections are the local failure detector behind
@@ -302,7 +338,11 @@ func main() {
 			eng.SetBackend(backend)
 		}
 		apiCfg.ClusterStatus = func() any { return backend.Status() }
-		logger.Info("cluster mode: coordinating peers", "peers", len(peerList), "batch", *batch)
+		if *replicat {
+			apiCfg.ReplicationStatus = func() any { return backend.ReplicationStatus() }
+		}
+		logger.Info("cluster mode: coordinating peers",
+			"peers", len(peerList), "batch", *batch, "replication", *replicat)
 	}
 
 	if *gossipOn {
@@ -383,11 +423,4 @@ func main() {
 		logger.Warn("shutdown", "err", err.Error())
 	}
 
-	if *state != "" {
-		if err := eng.SaveStateFile(*state); err != nil {
-			logger.Warn("state not saved", "path", *state, "err", err.Error())
-		} else {
-			logger.Info("state saved", "path", *state)
-		}
-	}
 }

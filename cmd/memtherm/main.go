@@ -10,7 +10,9 @@
 //	memtherm -run all -parallel 8  # run experiments concurrently; shared
 //	                               # (mix, policy) runs are deduplicated by
 //	                               # the sweep engine, not repeated
-//	memtherm -run all -state s.gob # warm-start from (and save) gob state
+//	memtherm -run all -state s.gob # durable cache: results persist to the
+//	                               # s.gob.d segment log as they complete
+//	                               # (a legacy s.gob blob migrates once)
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"strings"
 	"time"
 
+	"dramtherm"
 	"dramtherm/internal/exp"
 )
 
@@ -31,7 +34,7 @@ func main() {
 		quick    = flag.Bool("quick", false, "reduced-scale mode (smaller batches, fewer mixes)")
 		csv      = flag.Bool("csv", false, "emit tables as CSV")
 		parallel = flag.Int("parallel", 1, "experiments to run concurrently; also sizes the simulation worker pool (0 = GOMAXPROCS)")
-		state    = flag.String("state", "", "gob state file: loaded at startup if present, saved on exit")
+		state    = flag.String("state", "", "durable state: results append to the <path>.d segment log as they complete; a legacy gob blob at <path> migrates once")
 	)
 	flag.Parse()
 
@@ -46,12 +49,17 @@ func main() {
 		os.Exit(2)
 	}
 
-	runner := exp.NewRunnerParallel(*quick, *parallel)
-	if *state != "" {
-		if _, err := runner.Eng.LoadStateFile(*state); err != nil {
-			log.Printf("state %s not loaded: %v", *state, err)
-		}
+	// The facade owns the engine (and its durable state, when -state is
+	// set); the experiment runner drives it. Results append to the
+	// segment log as they complete, so even an aborted run keeps its
+	// finished simulations.
+	eng, err := dramtherm.NewEngine(exp.RunnerConfig(*quick),
+		dramtherm.WithWorkers(*parallel), dramtherm.WithState(*state))
+	if err != nil {
+		log.Fatalf("engine: %v", err)
 	}
+	defer eng.Close()
+	runner := exp.NewRunnerFor(eng.Engine, *quick)
 
 	ids := strings.Split(*run, ",")
 	if *run == "all" {
@@ -112,22 +120,13 @@ func main() {
 		}(i, id)
 	}
 
-	saveState := func() {
-		if *state == "" {
-			return
-		}
-		if err := runner.Eng.SaveStateFile(*state); err != nil {
-			log.Printf("state %s not saved: %v", *state, err)
-		}
-	}
 	for i := range ids {
 		<-ready[i]
 		if outs[i].err != nil {
 			fmt.Fprintln(os.Stderr, outs[i].err)
-			saveState()
+			eng.Close() //nolint:errcheck // os.Exit skips the deferred close
 			os.Exit(1)
 		}
 		fmt.Print(outs[i].text)
 	}
-	saveState()
 }

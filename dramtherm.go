@@ -50,6 +50,9 @@ type (
 	Mix = workload.Mix
 	// Cooling is a Table 3.2 cooling configuration (fbconfig.Cooling).
 	Cooling = fbconfig.Cooling
+	// ThermalLimits are the TDP/TRP thresholds DTM policies act on
+	// (fbconfig.ThermalLimits).
+	ThermalLimits = fbconfig.ThermalLimits
 	// ThermalModelKind selects isolated vs integrated ambient modeling.
 	ThermalModelKind = core.ThermalModelKind
 )

@@ -1,6 +1,9 @@
 package dramtherm
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 // TestFacade exercises the public API end-to-end at a tiny scale: the
 // exact code path the README quickstart shows.
@@ -27,6 +30,48 @@ func TestFacade(t *testing.T) {
 	}
 	if res.Seconds <= 0 || res.Completed != 4 {
 		t.Fatalf("facade run broken: %+v", res)
+	}
+}
+
+// TestFacadeEngine sweeps a tiny grid through the public engine with
+// durable state, then rebuilds the engine from the same directory and
+// checks the cache is warm — the whole quickstart workflow, without a
+// single internal import in user code.
+func TestFacadeEngine(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Replicas = 1
+	cfg.InstrScale = 0.01
+	dir := t.TempDir()
+
+	eng, err := NewEngine(cfg, WithWorkers(2), WithStateDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := Grid{Mixes: []string{"W1"}, Policies: []string{"No-limit", "DTM-TS"}}.Expand()
+	res, err := eng.Sweep(context.Background(), specs, SweepOptions{Normalize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Results) != 2 || res.Results[0].Seconds <= 0 || res.Norms[1] <= 0 {
+		t.Fatalf("sweep results broken: %+v", res)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	warm, err := NewEngine(cfg, WithWorkers(2), WithStateDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer warm.Close()
+	if got := warm.Stats().Entries; got != 2 {
+		t.Fatalf("warm engine replayed %d cached runs, want 2", got)
+	}
+	if _, err := warm.Sweep(context.Background(), specs, SweepOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if b := warm.Stats().Builds; b != 0 {
+		t.Fatalf("warm sweep rebuilt %d specs, want 0", b)
 	}
 }
 

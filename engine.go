@@ -1,0 +1,117 @@
+package dramtherm
+
+import (
+	"time"
+
+	"dramtherm/internal/core"
+	"dramtherm/internal/sweep"
+)
+
+// Re-exported sweep types: the concurrent engine's vocabulary, usable
+// without importing any internal package. See internal/sweep for full
+// documentation.
+type (
+	// Spec names one run by value — mix, policy, cooling, model — the
+	// engine's canonical cache key (sweep.Spec).
+	Spec = sweep.Spec
+	// Grid expands (mixes × policies × coolings × models) into specs
+	// (sweep.Grid).
+	Grid = sweep.Grid
+	// SweepOptions configures Engine.Sweep (sweep.Options).
+	SweepOptions = sweep.Options
+	// SweepResult is a completed sweep: per-spec results plus rendered
+	// tables (sweep.Result).
+	SweepResult = sweep.Result
+	// Progress is one OnProgress callback payload (sweep.Progress).
+	Progress = sweep.Progress
+	// CacheStats snapshots the engine's run cache (sweep.Stats).
+	CacheStats = sweep.Stats
+	// StateStats snapshots the durable segment log (sweep.StateStats).
+	StateStats = sweep.StateStats
+)
+
+// Engine is the public handle on the concurrent sweep engine: a
+// deduplicating, memoizing run cache over a bounded simulation worker
+// pool, with optional durable state. It embeds *sweep.Engine, so the
+// full engine surface (Run, Sweep, Stats, Normalized, …) is available
+// directly.
+//
+//	eng, err := dramtherm.NewEngine(dramtherm.DefaultConfig(),
+//		dramtherm.WithWorkers(8),
+//		dramtherm.WithStateDir("/var/lib/dramtherm/state"))
+//	defer eng.Close()
+//	res, err := eng.Sweep(ctx, dramtherm.Grid{
+//		Mixes:    []string{"W1", "W2"},
+//		Policies: []string{"DTM-TS", "DTM-ACG"},
+//	}.Expand(), dramtherm.SweepOptions{Normalize: true})
+type Engine struct {
+	*sweep.Engine
+}
+
+// engineOptions collects NewEngine's functional options.
+type engineOptions struct {
+	workers      int
+	stateDir     string
+	legacyState  string
+	compactEvery time.Duration
+}
+
+// EngineOption configures NewEngine.
+type EngineOption func(*engineOptions)
+
+// WithWorkers sets the simulation worker-pool width (<= 0 selects
+// GOMAXPROCS).
+func WithWorkers(n int) EngineOption {
+	return func(o *engineOptions) { o.workers = n }
+}
+
+// WithStateDir makes the engine's cache durable: completed runs and
+// level-1 traces append to a crash-safe segment log under dir as they
+// finish, and replay into the cache when the engine is built. An empty
+// dir is a no-op, so flag values pass through unconditionally.
+func WithStateDir(dir string) EngineOption {
+	return func(o *engineOptions) { o.stateDir = dir }
+}
+
+// WithState is the migrating alias for pre-segment-log deployments:
+// path names a legacy gob state file, which is imported once into the
+// segment log (under path + ".d" unless WithStateDir overrides it) and
+// renamed aside. An empty path is a no-op.
+func WithState(path string) EngineOption {
+	return func(o *engineOptions) { o.legacyState = path }
+}
+
+// WithCompactInterval sets the background segment-log compaction period
+// (default 10m; 0 disables background compaction). Only meaningful with
+// WithStateDir or WithState.
+func WithCompactInterval(d time.Duration) EngineOption {
+	return func(o *engineOptions) { o.compactEvery = d }
+}
+
+// NewEngine builds a concurrent sweep engine over a System configured
+// by cfg. With no options the engine is purely in-memory; state options
+// make its cache durable across restarts. Callers that enabled state
+// should Close the engine when done.
+func NewEngine(cfg Config, opts ...EngineOption) (*Engine, error) {
+	o := engineOptions{compactEvery: 10 * time.Minute}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	eng := sweep.NewEngine(core.NewSystem(cfg), o.workers)
+	dir := o.stateDir
+	if dir == "" && o.legacyState != "" {
+		dir = o.legacyState + ".d"
+	}
+	if dir != "" {
+		if err := eng.EnableSegmentLog(dir, o.compactEvery); err != nil {
+			return nil, err
+		}
+		if o.legacyState != "" {
+			if _, err := eng.MigrateLegacyStateFile(o.legacyState); err != nil {
+				eng.Close() //nolint:errcheck
+				return nil, err
+			}
+		}
+	}
+	return &Engine{Engine: eng}, nil
+}

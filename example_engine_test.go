@@ -1,0 +1,36 @@
+package dramtherm_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"dramtherm"
+)
+
+// ExampleNewEngine runs a small design-space sweep through the public
+// facade: build an engine, expand a grid, sweep it on the worker pool.
+// Add WithStateDir to make the cache durable across restarts — results
+// persist as they complete, and a rerun finishes from cache.
+func ExampleNewEngine() {
+	eng, err := dramtherm.NewEngine(dramtherm.DefaultConfig(),
+		dramtherm.WithWorkers(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	specs := dramtherm.Grid{
+		Mixes:    []string{"W1", "W2"},
+		Policies: []string{"DTM-TS", "DTM-ACG"},
+	}.Expand()
+	res, err := eng.Sweep(context.Background(), specs, dramtherm.SweepOptions{
+		Normalize: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, spec := range specs {
+		fmt.Println(spec, res.Norms[i])
+	}
+}

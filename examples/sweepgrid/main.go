@@ -1,13 +1,19 @@
-// Example sweepgrid explores a design-space grid through the concurrent
-// sweep engine: it expands (mix × policy × cooling) into specs, executes
-// them on a bounded worker pool with per-job progress, prints the
-// normalized-runtime table, and demonstrates warm-state persistence —
-// rerun with the same -state file and the sweep completes from cache.
+// Example sweepgrid explores a design-space grid through the public
+// dramtherm facade: it expands (mix × policy × cooling) into specs,
+// executes them on a bounded worker pool with per-job progress, prints
+// the normalized-runtime table, and demonstrates durable state — rerun
+// with the same -state directory and the sweep completes from cache,
+// even if the previous run crashed mid-sweep (results persist as they
+// finish, not at exit).
+//
+// The whole program imports only the root dramtherm package: the sweep
+// engine, grid expansion, options, and durable state all reach the
+// caller through the facade.
 //
 // Usage:
 //
 //	go run ./examples/sweepgrid
-//	go run ./examples/sweepgrid -workers 8 -state /tmp/sweep.gob
+//	go run ./examples/sweepgrid -workers 8 -state /tmp/sweep.d
 package main
 
 import (
@@ -17,21 +23,19 @@ import (
 	"log"
 	"time"
 
-	"dramtherm/internal/core"
-	"dramtherm/internal/fbconfig"
-	"dramtherm/internal/sweep"
+	"dramtherm"
 )
 
 func main() {
 	var (
 		workers = flag.Int("workers", 0, "simulation worker pool width (0 = GOMAXPROCS)")
-		state   = flag.String("state", "", "gob state file for warm restarts")
+		state   = flag.String("state", "", "durable state directory: results append to a segment log as they complete; rerun to finish from cache")
 		full    = flag.Bool("full", false, "full-scale batches (default is a fast demo scale)")
 		scale   = flag.Float64("instrscale", 0, "override the application length scale factor")
 	)
 	flag.Parse()
 
-	cfg := core.DefaultConfig()
+	cfg := dramtherm.DefaultConfig()
 	if !*full {
 		// Demo scale: single batch round, 5% application lengths. Short
 		// runs never heat the DIMMs near the real TDP (the thermal time
@@ -39,25 +43,24 @@ func main() {
 		// policies visibly engaged.
 		cfg.Replicas = 1
 		cfg.InstrScale = 0.05
-		cfg.Limits = fbconfig.ThermalLimits{AMBTDP: 103.5, DRAMTDP: 85, AMBTRP: 102.5, DRAMTRP: 84}
+		cfg.Limits = dramtherm.ThermalLimits{AMBTDP: 103.5, DRAMTDP: 85, AMBTRP: 102.5, DRAMTRP: 84}
 	}
 	if *scale > 0 {
 		cfg.InstrScale = *scale
 	}
-	eng := sweep.NewEngine(core.NewSystem(cfg), *workers)
 
-	if *state != "" {
-		loaded, err := eng.LoadStateFile(*state)
-		if err != nil {
-			log.Fatalf("loading %s: %v", *state, err)
-		}
-		if loaded {
-			fmt.Printf("warm start: %d trace records, %d cached runs\n",
-				eng.System().Store().Len(), eng.Stats().Entries)
-		}
+	eng, err := dramtherm.NewEngine(cfg,
+		dramtherm.WithWorkers(*workers), dramtherm.WithStateDir(*state))
+	if err != nil {
+		log.Fatalf("engine: %v", err)
+	}
+	defer eng.Close()
+	if warm := eng.Stats().Entries; warm > 0 {
+		fmt.Printf("warm start: %d trace records, %d cached runs\n",
+			eng.System().Store().Len(), warm)
 	}
 
-	grid := sweep.Grid{
+	grid := dramtherm.Grid{
 		Mixes:    []string{"W1", "W2", "W5", "W8"},
 		Policies: []string{"DTM-TS", "DTM-BW", "DTM-ACG", "DTM-CDVFS"},
 		Coolings: []string{"AOHS_1.5"},
@@ -66,9 +69,9 @@ func main() {
 	fmt.Printf("sweeping %d specs on %d workers\n", len(specs), eng.Workers())
 
 	start := time.Now()
-	res, err := eng.Sweep(context.Background(), specs, sweep.Options{
+	res, err := eng.Sweep(context.Background(), specs, dramtherm.SweepOptions{
 		Normalize: true,
-		OnProgress: func(p sweep.Progress) {
+		OnProgress: func(p dramtherm.Progress) {
 			fmt.Printf("  [%2d/%2d] %s\n", p.Done, p.Total, p.Spec)
 		},
 	})
@@ -80,9 +83,6 @@ func main() {
 	fmt.Printf("cache: %d simulations run, %d requests deduplicated or cached\n", st.Builds, st.Hits+st.Waits)
 
 	if *state != "" {
-		if err := eng.SaveStateFile(*state); err != nil {
-			log.Fatalf("saving %s: %v", *state, err)
-		}
-		fmt.Printf("state saved to %s — rerun to finish from cache\n", *state)
+		fmt.Printf("state persisted under %s — rerun to finish from cache\n", *state)
 	}
 }

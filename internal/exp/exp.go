@@ -70,20 +70,36 @@ func NewRunner(quick bool) *Runner {
 // NewRunnerParallel is NewRunner with an explicit simulation worker-pool
 // width (<= 0 selects GOMAXPROCS).
 func NewRunnerParallel(quick bool, workers int) *Runner {
+	return NewRunnerFor(sweep.NewEngine(core.NewSystem(RunnerConfig(quick)), workers), quick)
+}
+
+// RunnerConfig is the system configuration the drivers expect: the
+// Chapter 4 defaults, with the batch replica count reduced in quick
+// mode. Callers building their own engine (e.g. through the public
+// dramtherm facade, to add durable state) start from this and pass the
+// engine to NewRunnerFor.
+func RunnerConfig(quick bool) core.Config {
 	cfg := core.DefaultConfig()
 	if quick {
 		cfg.Replicas = 2
 	} else {
 		cfg.Replicas = 4
 	}
-	sys := core.NewSystem(cfg)
+	return cfg
+}
+
+// NewRunnerFor wraps an existing sweep engine — one the caller already
+// configured with durable state or a cluster backend — in a Runner. The
+// engine's System should come from RunnerConfig so results line up with
+// the paper's tables.
+func NewRunnerFor(eng *sweep.Engine, quick bool) *Runner {
 	r := &Runner{
-		Sys:     sys,
-		Eng:     sweep.NewEngine(sys, workers),
+		Sys:     eng.System(),
+		Eng:     eng,
 		Quick:   quick,
 		pe:      platform.PE1950(),
 		sr:      platform.SR1500AL(),
-		pfCache: sweep.NewCache[platform.RunResult](workers),
+		pfCache: sweep.NewCache[platform.RunResult](eng.Workers()),
 	}
 	r.peStore = platform.NewStore(r.pe, 1)
 	r.srStore = platform.NewStore(r.sr, 1)

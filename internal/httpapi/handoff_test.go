@@ -1,0 +1,89 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"dramtherm/internal/sim"
+	"dramtherm/internal/sweep"
+	"dramtherm/internal/sweep/remote"
+)
+
+func postNDJSON(t *testing.T, url string, lines []remote.HandoffLine) *http.Response {
+	t.Helper()
+	var body bytes.Buffer
+	enc := json.NewEncoder(&body)
+	for _, ln := range lines {
+		if err := enc.Encode(ln); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := http.Post(url, "application/x-ndjson", &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestHandoffEndpoint streams replicas in and checks they are imported
+// idempotently and then served as cache hits without any rebuild.
+func TestHandoffEndpoint(t *testing.T) {
+	ts, builds, eng := newTestServer(t, 2, 0, Config{})
+	spec := sweep.Spec{Mix: "W1", Policy: "DTM-TS"}
+	key := string(eng.Key(spec))
+	res := sim.MEMSpotResult{Seconds: 99, Completed: 4}
+
+	resp := postNDJSON(t, ts.URL+remote.HandoffPath, []remote.HandoffLine{
+		{Key: key, Result: &res, Reason: remote.ReasonReplica},
+		{Key: key, Result: &res, Reason: remote.ReasonReplica}, // duplicate: skipped
+		{Key: "otherdigest|foreign", Result: &res},             // foreign digest: skipped
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("handoff status %d", resp.StatusCode)
+	}
+	hr := decode[remote.HandoffResponse](t, resp)
+	if hr.Accepted != 1 || hr.Skipped != 2 {
+		t.Fatalf("handoff response %+v, want accepted=1 skipped=2", hr)
+	}
+
+	// The imported replica serves the exec path as a hit — no rebuild.
+	execResp := postJSON(t, ts.URL+"/v1/exec", spec)
+	if execResp.StatusCode != http.StatusOK {
+		t.Fatalf("exec status %d", execResp.StatusCode)
+	}
+	er := decode[remote.ExecResponse](t, execResp)
+	if er.Outcome != "hit" || er.Result.Seconds != 99 {
+		t.Fatalf("exec after handoff = %+v, want hit of the imported result", er)
+	}
+	if builds.Load() != 0 {
+		t.Fatalf("handoff import did not prevent a rebuild (builds=%d)", builds.Load())
+	}
+
+	// The ingestion counters surface in healthz.
+	hz := decode[healthzResponse](t, doReq(t, http.MethodGet, ts.URL+"/v1/healthz"))
+	if hz.HandoffAccepted != 1 || hz.HandoffSkipped != 2 {
+		t.Fatalf("healthz handoff counters = %d/%d, want 1/2", hz.HandoffAccepted, hz.HandoffSkipped)
+	}
+}
+
+// TestHandoffEndpointRejectsMalformed checks stream-level validation:
+// a line without a result is a 400, not a partial import.
+func TestHandoffEndpointRejectsMalformed(t *testing.T) {
+	ts, _, eng := newTestServer(t, 1, 0, Config{})
+	key := string(eng.Key(sweep.Spec{Mix: "W1"}))
+	resp := postNDJSON(t, ts.URL+remote.HandoffPath, []remote.HandoffLine{{Key: key}})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing-result line: status %d, want 400", resp.StatusCode)
+	}
+	resp2, err := http.Post(ts.URL+remote.HandoffPath, "application/x-ndjson", bytes.NewReader([]byte("{not json")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage stream: status %d, want 400", resp2.StatusCode)
+	}
+}

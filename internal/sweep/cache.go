@@ -35,6 +35,8 @@ type Cache[V any] struct {
 	waits  atomic.Int64 // joins of an in-flight build (deduplicated work)
 
 	buildDur *obs.Histogram // leader build latency; nil until Instrument
+
+	onInsert func(Key, V) // leader-insert hook; nil until OnInsert
 }
 
 type shard[V any] struct {
@@ -179,6 +181,9 @@ func (c *Cache[V]) DoTraced(ctx context.Context, key Key, build func(context.Con
 		delete(sh.flights, key)
 		sh.mu.Unlock()
 		close(fl.done)
+		if c.onInsert != nil {
+			c.onInsert(key, v)
+		}
 		return v, Built, nil
 	}
 }
@@ -208,6 +213,35 @@ func (c *Cache[V]) Put(key Key, v V) {
 	sh.mu.Lock()
 	sh.done[key] = v
 	sh.mu.Unlock()
+}
+
+// OnInsert registers fn to run after every leader-path insert — a value
+// newly built by Do, not entries restored via Put/Load (so replaying a
+// persisted log does not re-persist every record). fn runs outside the
+// shard lock on the leader's goroutine; it must not call back into the
+// cache for the same key. Call before the cache is in use; not
+// synchronized with concurrent Do.
+func (c *Cache[V]) OnInsert(fn func(Key, V)) { c.onInsert = fn }
+
+// Range calls fn for every completed entry until fn returns false. Each
+// shard is snapshotted under its lock, so fn itself runs lock-free and
+// may touch the cache; entries inserted mid-iteration may or may not be
+// seen.
+func (c *Cache[V]) Range(fn func(Key, V) bool) {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		snap := make(map[Key]V, len(sh.done))
+		for k, v := range sh.done {
+			snap[k] = v
+		}
+		sh.mu.Unlock()
+		for k, v := range snap {
+			if !fn(k, v) {
+				return
+			}
+		}
+	}
 }
 
 // Len returns the number of completed entries.

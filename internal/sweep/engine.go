@@ -1,13 +1,10 @@
 package sweep
 
 import (
-	"bytes"
 	"context"
-	"encoding/gob"
 	"errors"
 	"fmt"
-	"io"
-	"os"
+	"sync/atomic"
 
 	"dramtherm/internal/core"
 	"dramtherm/internal/fbconfig"
@@ -80,6 +77,13 @@ type Engine struct {
 	backend  SpecBackend
 	batch    BatchBackend
 	policies map[string]bool
+
+	// Durable-state machinery (state.go); all nil/zero until
+	// EnableSegmentLog.
+	seglog      *SegmentLog
+	compactStop chan struct{}
+	compactDone chan struct{}
+	appendErrs  atomic.Int64
 }
 
 // NewEngine builds an engine over sys with the given worker-pool width
@@ -299,68 +303,7 @@ func (e *Engine) BaselineSpec(spec Spec) Spec {
 	}
 }
 
-// SaveState persists the run cache and the level-1 trace store, so a
-// later LoadState warms both layers. Each part is framed as a byte blob
-// under one outer gob stream: sequential bare gob streams would break on
-// readers without io.ByteReader, where the first decoder's buffering
-// swallows part of the second stream.
-func (e *Engine) SaveState(w io.Writer) error {
-	var cacheBuf, traceBuf bytes.Buffer
-	if err := e.cache.Save(&cacheBuf); err != nil {
-		return err
-	}
-	if err := e.sys.Store().Save(&traceBuf); err != nil {
-		return err
-	}
-	enc := gob.NewEncoder(w)
-	if err := enc.Encode(cacheBuf.Bytes()); err != nil {
-		return err
-	}
-	return enc.Encode(traceBuf.Bytes())
-}
-
-// SaveStateFile writes SaveState to path.
-func (e *Engine) SaveStateFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	err = e.SaveState(f)
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	return err
-}
-
-// LoadStateFile restores state from path. A missing file is a cold
-// start, not an error: it returns (false, nil).
-func (e *Engine) LoadStateFile(path string) (loaded bool, err error) {
-	f, err := os.Open(path)
-	if errors.Is(err, os.ErrNotExist) {
-		return false, nil
-	}
-	if err != nil {
-		return false, err
-	}
-	err = e.LoadState(f)
-	f.Close()
-	return err == nil, err
-}
-
-// LoadState restores state written by SaveState. Entries keyed under a
-// different config digest stay in the cache but are never matched, so
-// loading a stale file is harmless.
-func (e *Engine) LoadState(r io.Reader) error {
-	dec := gob.NewDecoder(r)
-	var cacheBlob, traceBlob []byte
-	if err := dec.Decode(&cacheBlob); err != nil {
-		return fmt.Errorf("sweep: state load: %w", err)
-	}
-	if err := dec.Decode(&traceBlob); err != nil {
-		return fmt.Errorf("sweep: state load: %w", err)
-	}
-	if err := e.cache.Load(bytes.NewReader(cacheBlob)); err != nil {
-		return err
-	}
-	return e.sys.Store().Load(bytes.NewReader(traceBlob))
-}
+// Persistence lives in state.go: the engine appends completed runs and
+// level-1 trace records to a crash-safe segment log (EnableSegmentLog)
+// instead of rewriting a monolithic blob at shutdown; legacy blobs
+// migrate once through ImportLegacyState.

@@ -1,10 +1,8 @@
 package sweep
 
 import (
-	"bytes"
 	"context"
 	"errors"
-	"io"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -211,29 +209,32 @@ func TestEngineMatchesSerialRun(t *testing.T) {
 }
 
 // TestEngineStatePersistence round-trips run cache + trace store through
-// SaveState/LoadState and checks a rerun does no new work.
+// the segment log and checks a rerun does no new work.
 func TestEngineStatePersistence(t *testing.T) {
 	if testing.Short() {
 		t.Skip("real simulation skipped in -short mode")
 	}
+	dir := t.TempDir()
 	spec := Spec{Mix: "W5"}
 	e := NewEngine(core.NewSystem(tinyConfig()), 2)
+	if err := e.EnableSegmentLog(dir, 0); err != nil {
+		t.Fatal(err)
+	}
 	want, err := e.Run(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var buf bytes.Buffer
-	if err := e.SaveState(&buf); err != nil {
+	// No shutdown flush: records were appended as the run completed, so
+	// closing is only a courtesy sync.
+	if err := e.Close(); err != nil {
 		t.Fatal(err)
 	}
 
 	e2 := NewEngine(core.NewSystem(tinyConfig()), 2)
-	// Load through a reader that lacks io.ByteReader (like *os.File):
-	// gob then wraps it in a buffered reader, which corrupts any format
-	// relying on back-to-back bare gob streams.
-	if err := e2.LoadState(io.MultiReader(&buf)); err != nil {
+	if err := e2.EnableSegmentLog(dir, 0); err != nil {
 		t.Fatal(err)
 	}
+	defer e2.Close()
 	if e2.System().Store().Len() == 0 {
 		t.Fatal("trace store state not restored")
 	}

@@ -99,6 +99,9 @@ func (b *Backend) RunSpecs(ctx context.Context, specs []sweep.Spec, deliver func
 		acked[i] = true
 		mu.Unlock()
 		if !dup {
+			if err == nil {
+				b.maybeReplicate(specs[i], res, info)
+			}
 			deliver(i, res, info, err)
 		}
 	}

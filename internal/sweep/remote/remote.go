@@ -95,6 +95,16 @@ type Config struct {
 	// Speculative backoff-expiry readmissions do not count: they are
 	// retries, not evidence. Called without locks held.
 	OnPeerUp func(id string)
+	// Replication enables RF=2: every result a peer builds for this
+	// coordinator is asynchronously pushed to its key's ring successor
+	// via POST /v1/handoff, and membership changes stream moved keys'
+	// cached results to their new owners (see Entries). Best-effort —
+	// delivery failures cost cache warmth, never sweep correctness.
+	Replication bool
+	// Entries iterates the coordinator's cached results — pass the
+	// engine's Range method. Required for membership-change handoff;
+	// without it only build-time replication runs.
+	Entries func(fn func(sweep.Key, sim.MEMSpotResult) bool)
 }
 
 // Backend distributes runs across dramthermd peers by consistent
@@ -117,15 +127,30 @@ type Backend struct {
 	ringPeers []*peer      // the membership snapshot ring indices point into
 	down      atomic.Int32 // ejected-peer count; lets the hot path skip readmitExpired
 
+	// Replication state (replicate.go); the queue is nil unless
+	// Config.Replication is set.
+	replQ         chan replJob
+	replSent      atomic.Int64
+	replDropped   atomic.Int64
+	replPending   atomic.Int64
+	handoffKeys   atomic.Int64
+	handoffRounds atomic.Int64
+	promotions    atomic.Int64
+
 	// Instrumentation; all nil (and therefore no-ops) until Instrument.
-	mDispatch    *obs.CounterVec // {peer, kind}
-	mTransition  *obs.CounterVec // {peer, to}
-	mFailover    *obs.Counter
-	mReplan      *obs.Counter
-	mMoved       *obs.Counter
-	mStreamBytes *obs.Counter
-	mStreamLines *obs.Counter
-	prevOwners   []string // probe-key owners at the last rebuild (guarded by mu)
+	mDispatch      *obs.CounterVec // {peer, kind}
+	mTransition    *obs.CounterVec // {peer, to}
+	mFailover      *obs.Counter
+	mReplan        *obs.Counter
+	mMoved         *obs.Counter
+	mStreamBytes   *obs.Counter
+	mStreamLines   *obs.Counter
+	mReplSent      *obs.CounterVec // {peer}
+	mReplDropped   *obs.Counter
+	mHandoffKeys   *obs.CounterVec // {peer}
+	mHandoffRounds *obs.Counter
+	mPromotions    *obs.Counter
+	prevOwners     []string // probe-key owners at the last rebuild (guarded by mu)
 
 	stop chan struct{}
 	once sync.Once
@@ -214,6 +239,11 @@ func New(cfg Config) (*Backend, error) {
 		b.wg.Add(1)
 		go b.probeLoop()
 	}
+	if cfg.Replication {
+		b.replQ = make(chan replJob, replQueueDepth)
+		b.wg.Add(1)
+		go b.replicateLoop()
+	}
 	return b, nil
 }
 
@@ -261,6 +291,7 @@ func (b *Backend) Close() {
 // ids are skipped.
 func (b *Backend) SetMembers(peers []Peer) {
 	b.mu.Lock()
+	oldRing, oldRingPeers := b.ring, b.ringPeers
 	current := make(map[string]*peer, len(b.peers))
 	for _, p := range b.peers {
 		current[p.id] = p
@@ -304,6 +335,12 @@ func (b *Backend) SetMembers(peers []Peer) {
 	if changed {
 		b.log.Info("remote: membership changed",
 			"peers", len(next), "joined", fmt.Sprint(joined), "left", fmt.Sprint(left))
+		if b.cfg.Replication && b.cfg.Entries != nil {
+			// Stream the moved keys' cached results to their new owners
+			// before traffic lands there. Asynchronous: gossip must not
+			// block on a cache walk.
+			go b.handoffOnChange(oldRing, oldRingPeers, left)
+		}
 	}
 }
 
@@ -377,6 +414,7 @@ func (b *Backend) RunSpec(ctx context.Context, spec sweep.Spec) (sim.MEMSpotResu
 		p := ringPeers[idx]
 		res, info, err := b.dispatch(ctx, p, spec)
 		if err == nil {
+			b.maybeReplicate(spec, res, info)
 			return res, info, nil
 		}
 		var pe *peerError
@@ -394,7 +432,14 @@ func (b *Backend) RunSpec(ctx context.Context, spec sweep.Spec) (sim.MEMSpotResu
 		return sim.MEMSpotResult{}, sweep.RunInfo{}, fmt.Errorf("remote: %s unservable: %w", spec, lastErr)
 	}
 	res, err := b.cfg.Local(ctx, spec)
-	return res, sweep.RunInfo{Outcome: sweep.Built, Peer: LocalPeer}, err
+	info := sweep.RunInfo{Outcome: sweep.Built, Peer: LocalPeer}
+	if err == nil {
+		// A locally built result still gets a ring copy: its owner is the
+		// first candidate that is not "local", i.e. whoever would serve
+		// the key once a peer comes back.
+		b.maybeReplicate(spec, res, info)
+	}
+	return res, info, err
 }
 
 // dispatch executes spec on p, bounded by the peer's request pool.

@@ -1,0 +1,288 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"dramtherm/internal/sim"
+	"dramtherm/internal/trace"
+)
+
+// runRecord is the gob payload of one recordRun frame: a completed
+// level-2 run under its canonical cache key.
+type runRecord struct {
+	Key    Key
+	Result sim.MEMSpotResult
+}
+
+// traceRecord is the gob payload of one recordTrace frame. BWCapGBps may
+// be +Inf; gob round-trips IEEE bit patterns, so no sentinel is needed.
+type traceRecord struct {
+	Rates trace.Rates
+}
+
+// EnableSegmentLog makes the engine's warm state durable under crashes:
+// it opens (or creates) the append-only segment log in dir, replays it
+// into the run cache and the level-1 trace store, and registers hooks so
+// every freshly built run and trace record is appended as it completes —
+// there is no shutdown flush to lose. compactEvery > 0 starts a
+// background compactor folding the log into one snapshot segment on that
+// period (stopped by Close); <= 0 leaves compaction to CompactState
+// calls. Call once, before the engine is shared across goroutines.
+func (e *Engine) EnableSegmentLog(dir string, compactEvery time.Duration) error {
+	if e.seglog != nil {
+		return errors.New("sweep: segment log already enabled")
+	}
+	l, err := OpenSegmentLog(dir)
+	if err != nil {
+		return err
+	}
+	if err := e.replayState(l); err != nil {
+		l.Close()
+		return err
+	}
+	e.seglog = l
+	e.cache.OnInsert(func(k Key, v sim.MEMSpotResult) {
+		e.appendRun(k, v)
+	})
+	e.sys.Store().SetOnBuild(func(r trace.Rates) {
+		var buf bytes.Buffer
+		if gob.NewEncoder(&buf).Encode(traceRecord{Rates: r}) == nil {
+			if e.seglog.Append(recordTrace, buf.Bytes()) != nil {
+				e.appendErrs.Add(1)
+			}
+		} else {
+			e.appendErrs.Add(1)
+		}
+	})
+	if compactEvery > 0 {
+		e.compactStop = make(chan struct{})
+		e.compactDone = make(chan struct{})
+		go e.compactLoop(compactEvery)
+	}
+	return nil
+}
+
+// appendRun frames one completed run into the segment log.
+func (e *Engine) appendRun(k Key, v sim.MEMSpotResult) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(runRecord{Key: k, Result: v}); err != nil {
+		e.appendErrs.Add(1)
+		return
+	}
+	if err := e.seglog.Append(recordRun, buf.Bytes()); err != nil {
+		e.appendErrs.Add(1)
+	}
+}
+
+// replayState folds every log record into the in-memory layers. Inserts
+// go through Put, which does not re-trigger the append hooks.
+func (e *Engine) replayState(l *SegmentLog) error {
+	return l.Replay(func(kind byte, payload []byte) error {
+		switch kind {
+		case recordRun:
+			var rec runRecord
+			if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
+				return fmt.Errorf("sweep: replaying run record: %w", err)
+			}
+			e.cache.Put(rec.Key, rec.Result)
+		case recordTrace:
+			var rec traceRecord
+			if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
+				return fmt.Errorf("sweep: replaying trace record: %w", err)
+			}
+			e.sys.Store().Put(rec.Rates)
+		}
+		return nil
+	})
+}
+
+// compactLoop periodically folds the log; only runs between ticks that
+// saw fresh appends, so an idle engine does not churn disk.
+func (e *Engine) compactLoop(every time.Duration) {
+	defer close(e.compactDone)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.compactStop:
+			return
+		case <-t.C:
+			if st := e.seglog.Stats(); st.Appends == 0 && st.Segments <= 1 {
+				continue
+			}
+			if err := e.CompactState(); err != nil {
+				e.appendErrs.Add(1)
+			}
+		}
+	}
+}
+
+// CompactState folds the entire warm state (run cache + trace store)
+// into one fresh snapshot segment, retiring the older segments. Requires
+// EnableSegmentLog.
+func (e *Engine) CompactState() error {
+	if e.seglog == nil {
+		return errors.New("sweep: segment log not enabled")
+	}
+	return e.seglog.Compact(func(emit func(kind byte, payload []byte) error) error {
+		var err error
+		e.cache.Range(func(k Key, v sim.MEMSpotResult) bool {
+			var buf bytes.Buffer
+			if err = gob.NewEncoder(&buf).Encode(runRecord{Key: k, Result: v}); err != nil {
+				return false
+			}
+			err = emit(recordRun, buf.Bytes())
+			return err == nil
+		})
+		if err != nil {
+			return err
+		}
+		e.sys.Store().Range(func(r trace.Rates) bool {
+			var buf bytes.Buffer
+			if err = gob.NewEncoder(&buf).Encode(traceRecord{Rates: r}); err != nil {
+				return false
+			}
+			err = emit(recordTrace, buf.Bytes())
+			return err == nil
+		})
+		return err
+	})
+}
+
+// Close stops the background compactor and closes the segment log. Safe
+// to call on engines without one, and more than once.
+func (e *Engine) Close() error {
+	if e.compactStop != nil {
+		close(e.compactStop)
+		<-e.compactDone
+		e.compactStop = nil
+	}
+	if e.seglog == nil {
+		return nil
+	}
+	return e.seglog.Close()
+}
+
+// StateStats describes the durable-state layer for healthz.
+type StateStats struct {
+	SegLogStats
+	// Dir is the segment-log directory.
+	Dir string `json:"dir"`
+	// AppendErrors counts hook-side encode/append failures — state that
+	// stayed warm in memory but did not persist.
+	AppendErrors int64 `json:"append_errors,omitempty"`
+}
+
+// StateStats reports the segment log's shape; ok is false when no
+// segment log is enabled.
+func (e *Engine) StateStats() (StateStats, bool) {
+	if e.seglog == nil {
+		return StateStats{}, false
+	}
+	return StateStats{
+		SegLogStats:  e.seglog.Stats(),
+		Dir:          e.seglog.Dir(),
+		AppendErrors: e.appendErrs.Load(),
+	}, true
+}
+
+// ImportResult installs an externally produced result (a replica or a
+// handed-off cache entry) under its canonical key, persisting it when a
+// segment log is enabled. Keys minted under a different configuration
+// digest are rejected — a replica from a mis-configured peer must not
+// shadow this node's own results. Returns false for rejected or
+// already-present keys (the import is idempotent).
+func (e *Engine) ImportResult(key Key, res sim.MEMSpotResult) bool {
+	if !strings.HasPrefix(string(key), e.digest+"|") {
+		return false
+	}
+	if _, ok := e.cache.Get(key); ok {
+		return false
+	}
+	e.cache.Put(key, res)
+	if e.seglog != nil {
+		e.appendRun(key, res)
+	}
+	return true
+}
+
+// HasResult reports whether key is already cached.
+func (e *Engine) HasResult(key Key) bool {
+	_, ok := e.cache.Get(key)
+	return ok
+}
+
+// Range iterates the completed run cache (see Cache.Range) — the export
+// side of replication and handoff.
+func (e *Engine) Range(fn func(Key, sim.MEMSpotResult) bool) { e.cache.Range(fn) }
+
+// ImportLegacyState reads the pre-versioning state blob (two gob-framed
+// byte blobs — run cache map, then trace records — under one outer gob
+// stream) and folds it into the in-memory layers. It does not persist:
+// callers migrate by following up with CompactState.
+func (e *Engine) ImportLegacyState(r io.Reader) error {
+	dec := gob.NewDecoder(r)
+	var cacheBlob, traceBlob []byte
+	if err := dec.Decode(&cacheBlob); err != nil {
+		return fmt.Errorf("sweep: legacy state: %w", err)
+	}
+	if err := dec.Decode(&traceBlob); err != nil {
+		return fmt.Errorf("sweep: legacy state: %w", err)
+	}
+	if err := e.cache.Load(bytes.NewReader(cacheBlob)); err != nil {
+		return err
+	}
+	return e.sys.Store().Load(bytes.NewReader(traceBlob))
+}
+
+// migratedSuffix marks a legacy state file that has been folded into a
+// segment log, so it imports exactly once.
+const migratedSuffix = ".migrated"
+
+// MigrateLegacyStateFile imports the legacy gob state file at path into
+// the enabled segment log, compacts so every imported record is durable,
+// and renames the file aside (path + ".migrated") so it never imports
+// twice. A missing file — including one already renamed by a previous
+// migration — is a cold start: (false, nil). A file that carries the
+// versioned state magic is not legacy: that is a segment file passed as
+// -state, reported loudly instead of mis-parsed as gob.
+func (e *Engine) MigrateLegacyStateFile(path string) (migrated bool, err error) {
+	if e.seglog == nil {
+		return false, errors.New("sweep: segment log not enabled")
+	}
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	var head [8]byte
+	if n, _ := io.ReadFull(f, head[:]); n == len(head) && head == stateMagic {
+		f.Close()
+		return false, fmt.Errorf("sweep: %s is a versioned state segment, not a legacy blob — pass its directory as the segment dir instead", path)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		f.Close()
+		return false, err
+	}
+	err = e.ImportLegacyState(f)
+	f.Close()
+	if err != nil {
+		return false, err
+	}
+	if err := e.CompactState(); err != nil {
+		return false, err
+	}
+	if err := os.Rename(path, path+migratedSuffix); err != nil {
+		return false, fmt.Errorf("sweep: marking %s migrated: %w", path, err)
+	}
+	return true, nil
+}

@@ -130,6 +130,7 @@ type Store struct {
 	inflight map[DesignPoint]*build
 	builds   int
 	hits     int
+	onBuild  func(Rates) // post-build hook; nil until SetOnBuild
 }
 
 // build tracks one in-flight level-1 simulation.
@@ -182,16 +183,48 @@ func (s *Store) Get(dp DesignPoint) (Rates, error) {
 	fl.r, fl.err = r, err
 	s.mu.Lock()
 	delete(s.inflight, dp)
+	var hook func(Rates)
 	if err == nil {
 		s.recs[dp] = r
 		s.builds++
+		hook = s.onBuild
 	}
 	s.mu.Unlock()
 	close(fl.done)
 	if err != nil {
 		return Rates{}, err
 	}
+	if hook != nil {
+		hook(r)
+	}
 	return r, nil
+}
+
+// SetOnBuild registers fn to run after every successful level-1 build —
+// freshly simulated records, not entries restored via Put/Load (so
+// replaying a persisted log does not re-persist every record). fn runs
+// outside the store lock on the builder's goroutine. Call before the
+// store is in use; not synchronized with concurrent Get.
+func (s *Store) SetOnBuild(fn func(Rates)) {
+	s.mu.Lock()
+	s.onBuild = fn
+	s.mu.Unlock()
+}
+
+// Range calls fn for every memoized record until fn returns false. The
+// record set is snapshotted under the lock, so fn itself runs lock-free.
+func (s *Store) Range(fn func(Rates) bool) {
+	s.mu.Lock()
+	snap := make([]Rates, 0, len(s.recs))
+	for _, r := range s.recs {
+		snap = append(snap, r)
+	}
+	s.mu.Unlock()
+	for _, r := range snap {
+		if !fn(r) {
+			return
+		}
+	}
 }
 
 // Put inserts a record directly (used by tests and by Load).
