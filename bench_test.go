@@ -32,6 +32,7 @@ func benchExperiment(b *testing.B, id string) {
 		b.Fatal(err)
 	}
 	r := runner()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := d.Run(r)

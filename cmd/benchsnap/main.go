@@ -1,0 +1,321 @@
+// Command benchsnap pins the simulator hot-loop perf trajectory. It
+// runs the canonical per-timestep benchmarks (internal/simtest/
+// benchcases — the same bodies `go test -bench` registers) in-process
+// via testing.Benchmark and either:
+//
+//   - writes a schema-stable snapshot (-out BENCH_8.json), optionally
+//     embedding a previously captured baseline (-baseline old.json) and
+//     reporting per-benchmark and median speedups against it; or
+//   - gates a tree against the newest checked-in BENCH_*.json
+//     (-check): fails when the median ns/op of any pinned benchmark
+//     regresses more than -max-regress (default 10%) after machine
+//     normalization, or when allocs/op grew at all.
+//
+// Machine normalization: absolute ns/op is not comparable across
+// machines, so every snapshot records a calibration number — a fixed
+// dependent-chain float workload — and -check rescales the snapshot's
+// medians by calibration(now)/calibration(snapshot) before comparing.
+// allocs/op needs no normalization and is compared exactly. See
+// docs/PERFORMANCE.md.
+//
+// Usage:
+//
+//	benchsnap -out BENCH_8.json -pr 8 -baseline /tmp/pre.json
+//	benchsnap -check [-dir .] [-max-regress 0.10] [-out candidate.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"testing"
+
+	"dramtherm/internal/simtest/benchcases"
+)
+
+// Measurement is one pinned benchmark's recorded numbers.
+type Measurement struct {
+	NsPerOp       []float64 `json:"ns_per_op"`
+	MedianNsPerOp float64   `json:"median_ns_per_op"`
+	BytesPerOp    int64     `json:"bytes_per_op"`
+	AllocsPerOp   int64     `json:"allocs_per_op"`
+}
+
+// Baseline is an embedded pre-change capture.
+type Baseline struct {
+	Note          string                 `json:"note,omitempty"`
+	CalibrationNs float64                `json:"calibration_ns_per_op,omitempty"`
+	Benchmarks    map[string]Measurement `json:"benchmarks"`
+}
+
+// Snapshot is the schema-stable BENCH_*.json payload.
+type Snapshot struct {
+	Schema        int                    `json:"schema"`
+	PR            int                    `json:"pr,omitempty"`
+	Description   string                 `json:"description"`
+	GOOS          string                 `json:"goos"`
+	GOARCH        string                 `json:"goarch"`
+	GOMAXPROCS    int                    `json:"gomaxprocs"`
+	Count         int                    `json:"count"`
+	CalibrationNs float64                `json:"calibration_ns_per_op"`
+	Benchmarks    map[string]Measurement `json:"benchmarks"`
+	Baseline      *Baseline              `json:"baseline,omitempty"`
+	Speedups      map[string]float64     `json:"speedups,omitempty"`
+	MedianSpeedup float64                `json:"median_speedup,omitempty"`
+	Command       string                 `json:"command"`
+}
+
+const description = "Pinned per-timestep simulator hot-loop benchmarks " +
+	"(internal/simtest/benchcases): thermal RC step, level-1 machine tick, " +
+	"memory-controller tick, level-2 MEMSpot window. Medians over `count` " +
+	"in-process testing.Benchmark runs."
+
+var calibSink float64
+
+// calibrate measures a fixed dependent-chain float workload, giving a
+// machine-speed reference that makes snapshot medians comparable across
+// hosts (the workload is 64 chained RC steps, the same arithmetic shape
+// as the thermal hot loop).
+func calibrate() float64 {
+	r := testing.Benchmark(func(b *testing.B) {
+		t, s := 50.0, 110.0
+		for i := 0; i < b.N; i++ {
+			for k := 0; k < 64; k++ {
+				t = t + (s-t)*0.015625
+			}
+			s = 220 - s // keep the chain from converging to a constant
+		}
+		calibSink = t
+	})
+	return float64(r.T.Nanoseconds()) / float64(r.N)
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// run executes one pinned case count times and aggregates.
+func run(name string, count int) (Measurement, error) {
+	fn, ok := benchcases.ByName(name)
+	if !ok {
+		return Measurement{}, fmt.Errorf("unknown benchmark %q", name)
+	}
+	var m Measurement
+	for i := 0; i < count; i++ {
+		runtime.GC()
+		r := testing.Benchmark(fn)
+		if r.N == 0 {
+			return Measurement{}, fmt.Errorf("%s: benchmark did not run", name)
+		}
+		m.NsPerOp = append(m.NsPerOp, float64(r.T.Nanoseconds())/float64(r.N))
+		m.BytesPerOp = r.AllocedBytesPerOp()
+		m.AllocsPerOp = r.AllocsPerOp()
+	}
+	m.MedianNsPerOp = median(m.NsPerOp)
+	return m, nil
+}
+
+func runAll(count int) (map[string]Measurement, error) {
+	out := make(map[string]Measurement, len(benchcases.Names()))
+	for _, name := range benchcases.Names() {
+		fmt.Fprintf(os.Stderr, "benchsnap: running %s ×%d...\n", name, count)
+		m, err := run(name, count)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "benchsnap:   %s median %.0f ns/op, %d B/op, %d allocs/op\n",
+			name, m.MedianNsPerOp, m.BytesPerOp, m.AllocsPerOp)
+		out[name] = m
+	}
+	return out, nil
+}
+
+// newestSnapshot finds the BENCH_<n>.json with the largest n in dir.
+func newestSnapshot(dir string) (string, error) {
+	pat := regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	best, bestN := "", -1
+	for _, e := range entries {
+		m := pat.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		n, _ := strconv.Atoi(m[1])
+		if n > bestN {
+			best, bestN = e.Name(), n
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("no BENCH_*.json snapshot in %s", dir)
+	}
+	return filepath.Join(dir, best), nil
+}
+
+func loadSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(s.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: snapshot has no benchmarks", path)
+	}
+	return &s, nil
+}
+
+func writeSnapshot(path string, s *Snapshot) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// check gates the current tree against snap.
+func check(snap *Snapshot, now map[string]Measurement, calibNow, maxRegress float64) error {
+	scale := 1.0
+	if snap.CalibrationNs > 0 && calibNow > 0 {
+		scale = calibNow / snap.CalibrationNs
+		fmt.Fprintf(os.Stderr, "benchsnap: machine scale %.3f (calibration %.1f → %.1f ns)\n",
+			scale, snap.CalibrationNs, calibNow)
+	}
+	var failures []string
+	for _, name := range benchcases.Names() {
+		old, ok := snap.Benchmarks[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchsnap: %s not in snapshot, skipping\n", name)
+			continue
+		}
+		cur := now[name]
+		allowed := old.MedianNsPerOp * scale * (1 + maxRegress)
+		verdict := "ok"
+		if cur.MedianNsPerOp > allowed {
+			verdict = "REGRESSED"
+			failures = append(failures, fmt.Sprintf(
+				"%s: median %.0f ns/op exceeds %.0f (snapshot %.0f × scale %.3f × %.0f%% headroom)",
+				name, cur.MedianNsPerOp, allowed, old.MedianNsPerOp, scale, 100*(1+maxRegress)))
+		}
+		if cur.AllocsPerOp > old.AllocsPerOp {
+			verdict = "REGRESSED"
+			failures = append(failures, fmt.Sprintf(
+				"%s: allocs/op grew %d → %d (machine-independent)",
+				name, old.AllocsPerOp, cur.AllocsPerOp))
+		}
+		fmt.Fprintf(os.Stderr, "benchsnap: %-15s snapshot %8.0f  now %8.0f ns/op  allocs %d → %d  [%s]\n",
+			name, old.MedianNsPerOp, cur.MedianNsPerOp, old.AllocsPerOp, cur.AllocsPerOp, verdict)
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "benchsnap: FAIL:", f)
+		}
+		return fmt.Errorf("%d pinned benchmark(s) regressed", len(failures))
+	}
+	return nil
+}
+
+func main() {
+	var (
+		out        = flag.String("out", "", "write a snapshot to this file")
+		pr         = flag.Int("pr", 0, "PR number recorded in the snapshot")
+		count      = flag.Int("count", 5, "runs per benchmark (median is pinned)")
+		baseline   = flag.String("baseline", "", "embed this earlier capture as the snapshot's baseline")
+		doCheck    = flag.Bool("check", false, "gate against the newest checked-in BENCH_*.json")
+		dir        = flag.String("dir", ".", "directory holding BENCH_*.json snapshots (-check)")
+		maxRegress = flag.Float64("max-regress", 0.10, "allowed median regression fraction (-check)")
+	)
+	flag.Parse()
+	if !*doCheck && *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	fmt.Fprintln(os.Stderr, "benchsnap: calibrating...")
+	calib := calibrate()
+	results, err := runAll(*count)
+	fail(err)
+
+	if *doCheck {
+		path, err := newestSnapshot(*dir)
+		fail(err)
+		fmt.Fprintf(os.Stderr, "benchsnap: checking against %s\n", path)
+		snap, err := loadSnapshot(path)
+		fail(err)
+		checkErr := check(snap, results, calib, *maxRegress)
+		if *out != "" {
+			// Candidate snapshot for artifact upload, even on failure.
+			fail(writeSnapshot(*out, candidate(*pr, *count, calib, results)))
+		}
+		fail(checkErr)
+		fmt.Fprintln(os.Stderr, "benchsnap: all pinned benchmarks within budget")
+		return
+	}
+
+	snap := candidate(*pr, *count, calib, results)
+	if *baseline != "" {
+		base, err := loadSnapshot(*baseline)
+		fail(err)
+		snap.Baseline = &Baseline{
+			Note:          "pre-PR hot loop measured on the same machine with the same benchmark bodies",
+			CalibrationNs: base.CalibrationNs,
+			Benchmarks:    base.Benchmarks,
+		}
+		snap.Speedups = make(map[string]float64, len(results))
+		var ratios []float64
+		for name, cur := range results {
+			if old, ok := base.Benchmarks[name]; ok && cur.MedianNsPerOp > 0 {
+				r := old.MedianNsPerOp / cur.MedianNsPerOp
+				snap.Speedups[name] = round2(r)
+				ratios = append(ratios, r)
+			}
+		}
+		snap.MedianSpeedup = round2(median(ratios))
+		fmt.Fprintf(os.Stderr, "benchsnap: median speedup vs baseline: %.2f×\n", snap.MedianSpeedup)
+	}
+	fail(writeSnapshot(*out, snap))
+	fmt.Fprintf(os.Stderr, "benchsnap: wrote %s\n", *out)
+}
+
+func candidate(pr, count int, calib float64, results map[string]Measurement) *Snapshot {
+	return &Snapshot{
+		Schema:        1,
+		PR:            pr,
+		Description:   description,
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Count:         count,
+		CalibrationNs: calib,
+		Benchmarks:    results,
+		Command:       "go run ./cmd/benchsnap -out BENCH_<pr>.json [-baseline pre.json] | -check",
+	}
+}
+
+func round2(v float64) float64 { return float64(int(v*100+0.5)) / 100 }
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+}

@@ -47,6 +47,12 @@ type Config struct {
 	Interval float64 // DTM interval in seconds (paper: 10 ms)
 	// InstrScale shrinks application run lengths; tests use small values.
 	InstrScale float64
+	// ExactThermal routes level-2 runs through the retained per-step
+	// math.Exp thermal path instead of the cached-decay fast path; the
+	// differential harness (internal/simtest) uses it to compare whole
+	// sweeps. The flag is part of the ConfigDigest, so results from the
+	// two paths never share a cache scope.
+	ExactThermal bool
 }
 
 // DefaultConfig returns the Chapter 4 configuration. Replicas defaults to
@@ -163,6 +169,7 @@ func (s *System) RunCtx(ctx context.Context, spec RunSpec) (sim.MEMSpotResult, e
 		WindowS:      win,
 		DTMIntervalS: interval,
 		InstrScale:   s.cfg.InstrScale,
+		ExactThermal: s.cfg.ExactThermal,
 	}
 	return sim.RunMixCtx(ctx, cfg, s.store)
 }

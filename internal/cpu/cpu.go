@@ -91,6 +91,14 @@ type Multicore struct {
 	tickNS float64
 	now    float64
 	seed   int64
+
+	// compBuf is the completion buffer handed to memctrl.TickAppend every
+	// clock; free recycles completed Request structs back into access()
+	// (a completed request is dead: the controller drops its reference on
+	// pop and Step only reads it), so the steady-state tick allocates
+	// nothing.
+	compBuf []memctrl.Completion
+	free    []*memctrl.Request
 }
 
 // New builds the machine. The memory controller is owned by the caller so
@@ -198,20 +206,35 @@ func (c *Core) gap() float64 {
 
 // Step advances the machine by one tick (one DDR2 clock).
 func (m *Multicore) Step() {
-	for _, comp := range m.mem.Tick(m.now) {
+	m.compBuf = m.mem.TickAppend(m.now, m.compBuf[:0])
+	for _, comp := range m.compBuf {
 		r := comp.Req
-		if r.Speculative || r.Write {
-			continue
+		if !r.Speculative && !r.Write {
+			c := m.cores[r.Core]
+			if c.outstanding > 0 {
+				c.outstanding--
+			}
 		}
-		c := m.cores[r.Core]
-		if c.outstanding > 0 {
-			c.outstanding--
+		if len(m.free) < 256 {
+			m.free = append(m.free, r)
 		}
 	}
 	for _, c := range m.cores {
 		m.advanceCore(c)
 	}
 	m.now += m.tickNS
+}
+
+// newRequest returns a zeroed Request, recycled from the freelist when
+// possible.
+func (m *Multicore) newRequest() *memctrl.Request {
+	if n := len(m.free); n > 0 {
+		r := m.free[n-1]
+		m.free = m.free[:n-1]
+		*r = memctrl.Request{}
+		return r
+	}
+	return &memctrl.Request{}
 }
 
 // Run advances the machine n ticks.
@@ -290,10 +313,13 @@ func (m *Multicore) access(c *Core) {
 	l2 := m.l2s[m.cfg.L2Domain[c.ID]]
 	res := l2.Access(c.ID, addr, kind)
 	if res.WritebackValid {
-		wb := &memctrl.Request{Core: c.ID, Addr: res.Writeback, Write: true}
+		wb := m.newRequest()
+		wb.Core, wb.Addr, wb.Write = c.ID, res.Writeback, true
 		if !m.mem.Enqueue(wb, m.now) {
 			if len(c.pendingWB) < 64 {
 				c.pendingWB = append(c.pendingWB, wb)
+			} else if len(m.free) < 256 {
+				m.free = append(m.free, wb) // dropped writeback
 			}
 		}
 	}
@@ -310,7 +336,8 @@ func (m *Multicore) access(c *Core) {
 	// throttles demand — the effect that lets DTM-CDVFS actually shed
 	// memory traffic (§4.4.2).
 	c.hitStall += missIssueCycles
-	req := &memctrl.Request{Core: c.ID, Addr: addr}
+	req := m.newRequest()
+	req.Core, req.Addr = c.ID, addr
 	if m.mem.Enqueue(req, m.now) {
 		c.outstanding++
 	} else {
@@ -319,9 +346,12 @@ func (m *Multicore) access(c *Core) {
 	// Speculative/prefetch traffic accompanies demand misses and scales
 	// with core frequency.
 	if c.stream.Speculative(c.freqGHz / m.cfg.MaxFreqGHz) {
-		spec := &memctrl.Request{Core: c.ID, Addr: addr + 64, Speculative: true}
+		spec := m.newRequest()
+		spec.Core, spec.Addr, spec.Speculative = c.ID, addr+64, true
 		if m.mem.Enqueue(spec, m.now) {
 			c.stats.SpecIssued++
+		} else if len(m.free) < 256 {
+			m.free = append(m.free, spec) // dropped speculative request
 		}
 	}
 }

@@ -15,6 +15,7 @@ func BenchmarkTick(b *testing.B) {
 	}
 	addr := uint64(0)
 	now := 0.0
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for !c.Full() {

@@ -6,7 +6,6 @@
 package memctrl
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
@@ -220,6 +219,14 @@ func (c *Controller) refillWindow(now float64) {
 // completions due at or before now. Call with monotonically nondecreasing
 // times; a typical caller ticks every DDR2 clock (3 ns).
 func (c *Controller) Tick(now float64) []Completion {
+	return c.TickAppend(now, nil)
+}
+
+// TickAppend is Tick appending completions to out instead of allocating
+// a fresh slice; the cycle-driven level-1 loop passes a buffer it reuses
+// every clock (typically out[:0]), making the common empty tick
+// allocation-free.
+func (c *Controller) TickAppend(now float64, out []Completion) []Completion {
 	c.refillWindow(now)
 	if !c.shutdown {
 		issued := 0
@@ -245,16 +252,15 @@ func (c *Controller) Tick(now float64) []Completion {
 				c.stats.LatencySum += done - r.enqueued
 				c.stats.LatencyN++
 			}
-			heap.Push(&c.completions, Completion{Req: r, Time: done})
+			c.completions.push(Completion{Req: r, Time: done})
 			c.queue = append(c.queue[:i], c.queue[i+1:]...)
 			i--
 			issued++
 		}
 	}
 
-	var out []Completion
 	for len(c.completions) > 0 && c.completions[0].Time <= now {
-		out = append(out, heap.Pop(&c.completions).(Completion))
+		out = append(out, c.completions.pop())
 	}
 	return out
 }
@@ -319,16 +325,49 @@ func (c *Controller) ResetStats() {
 	}
 }
 
+// completionHeap is a min-heap on Completion.Time. The sift algorithms
+// mirror container/heap exactly (same comparisons, same swaps), so
+// equal-time pop order matches the previous heap.Push/heap.Pop
+// implementation; the hand-rolled methods exist to avoid boxing every
+// Completion through interface{} — one allocation per issued request on
+// the level-1 hot path.
 type completionHeap []Completion
 
-func (h completionHeap) Len() int            { return len(h) }
-func (h completionHeap) Less(i, j int) bool  { return h[i].Time < h[j].Time }
-func (h completionHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *completionHeap) Push(x interface{}) { *h = append(*h, x.(Completion)) }
-func (h *completionHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
+func (h *completionHeap) push(x Completion) {
+	*h = append(*h, x)
+	s := *h
+	// Sift up, as container/heap's up().
+	for j := len(s) - 1; j > 0; {
+		i := (j - 1) / 2
+		if !(s[j].Time < s[i].Time) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		j = i
+	}
+}
+
+func (h *completionHeap) pop() Completion {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	// Sift down over s[:n], as container/heap's down().
+	for i := 0; ; {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && s[j2].Time < s[j].Time {
+			j = j2
+		}
+		if !(s[j].Time < s[i].Time) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		i = j
+	}
+	x := s[n]
+	s[n] = Completion{} // drop the *Request reference
+	*h = s[:n]
 	return x
 }

@@ -104,6 +104,68 @@ type DIMMPower struct {
 	DRAM fbconfig.Watt
 }
 
+// ChannelModel precomputes the traffic-share geometry of one channel —
+// the per-DIMM local fractions and bypass suffix sums SplitChannel
+// derives on every call — for a fixed distribution, so the per-window
+// hot loop only scales the precomputed terms by the current read/write
+// throughput. The arithmetic matches SplitChannel + ChannelWatts
+// operation for operation, so results are bit-identical.
+type ChannelModel struct {
+	dp      fbconfig.DRAMPower
+	ap      fbconfig.AMBPower
+	frac    []float64 // Share[i]/sum: local traffic fraction per DIMM
+	farther []float64 // suffix sums of frac; bypass at i scales farther[i+1]
+}
+
+// NewChannelModel validates the share vector exactly like SplitChannel
+// and captures the power coefficients.
+func NewChannelModel(dp fbconfig.DRAMPower, ap fbconfig.AMBPower, share []float64) (*ChannelModel, error) {
+	n := len(share)
+	if n == 0 {
+		return nil, fmt.Errorf("power: channel has no DIMMs")
+	}
+	var sum float64
+	for _, s := range share {
+		if s < 0 {
+			return nil, fmt.Errorf("power: negative traffic share %v", s)
+		}
+		sum += s
+	}
+	if sum == 0 {
+		sum = 1 // idle channel: shares irrelevant
+	}
+	m := &ChannelModel{dp: dp, ap: ap, frac: make([]float64, n), farther: make([]float64, n+1)}
+	for i := n - 1; i >= 0; i-- {
+		m.frac[i] = share[i] / sum
+		m.farther[i] = m.farther[i+1] + share[i]/sum
+	}
+	return m, nil
+}
+
+// DIMMs returns the number of DIMMs the model was built for.
+func (m *ChannelModel) DIMMs() int { return len(m.frac) }
+
+// WattsInto evaluates both power models for every DIMM of the channel
+// under the given aggregate read/write throughput, appending the pairs
+// to dst (pass dst[:0] to reuse a buffer across windows). It is the
+// allocation-free equivalent of ChannelWatts with this model's shares.
+func (m *ChannelModel) WattsInto(dst []DIMMPower, read, write fbconfig.GBps) []DIMMPower {
+	n := len(m.frac)
+	total := read + write
+	for i := 0; i < n; i++ {
+		t := DIMMTraffic{
+			LocalRead:  read * m.frac[i],
+			LocalWrite: write * m.frac[i],
+			Bypass:     total * m.farther[i+1],
+		}
+		dst = append(dst, DIMMPower{
+			AMB:  AMBWatts(m.ap, t, i == n-1),
+			DRAM: DRAMWatts(m.dp, t),
+		})
+	}
+	return dst
+}
+
 // ChannelWatts evaluates both models for every DIMM of a channel.
 func ChannelWatts(dp fbconfig.DRAMPower, ap fbconfig.AMBPower, ct ChannelTraffic) ([]DIMMPower, error) {
 	ts, err := SplitChannel(ct)

@@ -19,6 +19,7 @@ func BenchmarkLevel1Build(b *testing.B) {
 		b.Fatal(err)
 	}
 	dp := trace.DesignPoint{Apps: trace.CanonApps(mix.Apps), FreqGHz: 3.2, BWCapGBps: math.Inf(1)}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := l1.Build(dp); err != nil {
@@ -43,6 +44,7 @@ func BenchmarkMEMSpotSecond(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for w := 0; w < 100; w++ {

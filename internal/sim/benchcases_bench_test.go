@@ -1,0 +1,16 @@
+// Per-timestep hot-loop benchmarks: the canonical bodies live in
+// internal/simtest/benchcases so cmd/benchsnap pins the exact same
+// measurements into BENCH_*.json snapshots. This file is an external
+// test package because benchcases itself imports internal/sim.
+package sim_test
+
+import (
+	"testing"
+
+	"dramtherm/internal/simtest/benchcases"
+)
+
+func BenchmarkThermalStep(b *testing.B)    { benchcases.ThermalStep(b) }
+func BenchmarkLevel1Timestep(b *testing.B) { benchcases.Level1Timestep(b) }
+func BenchmarkMemctrlTick(b *testing.B)    { benchcases.MemctrlTick(b) }
+func BenchmarkMEMSpotWindow(b *testing.B)  { benchcases.MEMSpotWindow(b) }

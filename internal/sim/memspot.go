@@ -43,6 +43,13 @@ type MEMSpotConfig struct {
 	// SensorSeed enables sensor noise when nonzero (Chapter 5 platform
 	// runs); zero keeps the Chapter 4 noiseless simulation sensors.
 	SensorSeed int64
+
+	// ExactThermal selects the retained per-step math.Exp thermal path
+	// (thermal.Model.AdvanceExact) instead of the cached-decay fast path.
+	// The two agree bit-for-bit today; the flag exists so the
+	// differential harness (internal/simtest) can drive both through the
+	// identical simulation stack.
+	ExactThermal bool
 }
 
 // applyDefaults fills zero fields.
@@ -140,6 +147,23 @@ type MEMSpot struct {
 	nextRot float64
 	nextRec float64
 
+	// Hot-loop scratch state, reused across windows so the steady-state
+	// step allocates nothing: the precomputed channel power model, the
+	// power/gating/activity buffers, and a one-entry design-point → rates
+	// memo (windows overwhelmingly repeat the previous window's design
+	// point, so most steps skip the store lock and key canonicalization).
+	chanModel   *power.ChannelModel
+	pwBuf       []power.DIMMPower
+	gatedBuf    []bool
+	namesBuf    []string
+	runningBuf  []int
+	activityBuf []thermal.CoreActivity
+	lastNames   []string
+	lastApps    string
+	lastDP      trace.DesignPoint
+	lastRates   trace.Rates
+	haveLast    bool
+
 	res MEMSpotResult
 }
 
@@ -168,6 +192,12 @@ func NewMEMSpot(cfg MEMSpotConfig, store *trace.Store) (*MEMSpot, error) {
 	if cfg.SensorSeed != 0 {
 		m.sensor = thermal.NewSensor(rand.New(rand.NewSource(cfg.SensorSeed)))
 	}
+	cm, err := power.NewChannelModel(fbconfig.DefaultDRAMPower, fbconfig.DefaultAMBPower,
+		power.EvenShares(cfg.Params.DIMMsPerChannel))
+	if err != nil {
+		return nil, err
+	}
+	m.chanModel = cm
 
 	// Batch queue: Replicas rounds of the mix in round-robin order
 	// (§4.3.2: jobs assigned to freed cores round-robin).
@@ -212,7 +242,8 @@ func (m *MEMSpot) done() bool {
 }
 
 // gatedSet returns which cores are gated under the current action with
-// round-robin rotation offset.
+// round-robin rotation offset. The returned slice is scratch state
+// valid until the next call.
 func (m *MEMSpot) gatedSet() []bool {
 	n := m.act.ActiveCores
 	c := len(m.cores)
@@ -222,11 +253,39 @@ func (m *MEMSpot) gatedSet() []bool {
 	if n < 0 {
 		n = 0
 	}
-	gated := make([]bool, c)
+	if cap(m.gatedBuf) < c {
+		m.gatedBuf = make([]bool, c)
+	}
+	gated := m.gatedBuf[:c]
+	for i := range gated {
+		gated[i] = false
+	}
 	for k := 0; k < c-n; k++ {
 		gated[(m.rot+k)%c] = true
 	}
 	return gated
+}
+
+// canonApps returns trace.CanonApps(names), memoized on the previous
+// window's name sequence: consecutive windows almost always run the
+// same jobs in the same core order, so the sort+join and its
+// allocations are skipped in steady state.
+func (m *MEMSpot) canonApps(names []string) string {
+	if len(names) == len(m.lastNames) {
+		same := true
+		for i := range names {
+			if names[i] != m.lastNames[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return m.lastApps
+		}
+	}
+	m.lastNames = append(m.lastNames[:0], names...)
+	m.lastApps = trace.CanonApps(names)
+	return m.lastApps
 }
 
 // Run executes the batch to completion (or MaxSeconds) and returns the
@@ -234,6 +293,15 @@ func (m *MEMSpot) gatedSet() []bool {
 func (m *MEMSpot) Run() (MEMSpotResult, error) {
 	return m.RunCtx(context.Background())
 }
+
+// StepWindow advances the simulation by exactly one window. It is the
+// per-timestep unit of the level-2 hot loop, exposed for the
+// differential test harness (internal/simtest) and the pinned
+// benchmarks (cmd/benchsnap); normal callers use Run/RunCtx.
+func (m *MEMSpot) StepWindow() error { return m.step() }
+
+// Done reports whether the batch has completed (all jobs finished).
+func (m *MEMSpot) Done() bool { return m.done() }
 
 // RunCtx is Run with cancellation: the simulation loop aborts between
 // windows as soon as ctx is done, returning the context error and the
@@ -295,23 +363,29 @@ func (m *MEMSpot) step() error {
 	lv := m.cfg.DVFS[freqIdx]
 
 	// Running combination → design point → rates.
-	names := make([]string, 0, len(m.cores))
-	running := make([]int, 0, len(m.cores))
+	names := m.namesBuf[:0]
+	running := m.runningBuf[:0]
 	for i, j := range m.cores {
 		if j != nil && !gated[i] {
 			names = append(names, j.prof.Name)
 			running = append(running, i)
 		}
 	}
+	m.namesBuf, m.runningBuf = names, running
 	dp := trace.DesignPoint{
-		Apps:      trace.CanonApps(names),
+		Apps:      m.canonApps(names),
 		FreqGHz:   lv.FreqGHz,
 		BWCapGBps: m.act.BWCapGBps,
 		MemOff:    m.act.MemOff,
 	}
-	rates, err := m.store.Get(dp)
-	if err != nil {
-		return err
+	rates := m.lastRates
+	if !m.haveLast || dp != m.lastDP {
+		var err error
+		rates, err = m.store.Get(dp)
+		if err != nil {
+			return err
+		}
+		m.lastDP, m.lastRates, m.haveLast = dp, rates, true
 	}
 
 	// Progress and traffic.
@@ -320,7 +394,7 @@ func (m *MEMSpot) step() error {
 		effWin = 0
 	}
 	var readG, writeG float64 // GB/s aggregates
-	activity := make([]thermal.CoreActivity, 0, len(running))
+	activity := m.activityBuf[:0]
 	for _, i := range running {
 		j := m.cores[i]
 		ar := rates.PerApp[j.prof.Name]
@@ -348,19 +422,17 @@ func (m *MEMSpot) step() error {
 			m.dispatch(i)
 		}
 	}
+	m.activityBuf = activity
 	m.res.ReadGB += readG * win
 	m.res.WriteGB += writeG * win
 
-	// Power.
-	perCh := power.ChannelTraffic{
-		Read:  readG / float64(m.cfg.Params.PhysicalChannels),
-		Write: writeG / float64(m.cfg.Params.PhysicalChannels),
-		Share: power.EvenShares(m.cfg.Params.DIMMsPerChannel),
-	}
-	pw, err := power.ChannelWatts(fbconfig.DefaultDRAMPower, fbconfig.DefaultAMBPower, perCh)
-	if err != nil {
-		return err
-	}
+	// Power: the precomputed channel model evaluates the same arithmetic
+	// as power.ChannelWatts with even shares, without re-deriving the
+	// share geometry or allocating per window.
+	pw := m.chanModel.WattsInto(m.pwBuf[:0],
+		readG/float64(m.cfg.Params.PhysicalChannels),
+		writeG/float64(m.cfg.Params.PhysicalChannels))
+	m.pwBuf = pw
 	var memW float64
 	for _, p := range pw {
 		memW += (p.AMB + p.DRAM) * float64(m.cfg.Params.PhysicalChannels)
@@ -371,9 +443,16 @@ func (m *MEMSpot) step() error {
 	m.res.CPUEnergyJ += cpuW * win
 
 	// Thermal.
-	m.model.Ambient = m.amb.Advance(activity, win)
-	if err := m.model.Advance(pw, win); err != nil {
-		return err
+	if m.cfg.ExactThermal {
+		m.model.Ambient = m.amb.AdvanceExact(activity, win)
+		if err := m.model.AdvanceExact(pw, win); err != nil {
+			return err
+		}
+	} else {
+		m.model.Ambient = m.amb.Advance(activity, win)
+		if err := m.model.Advance(pw, win); err != nil {
+			return err
+		}
 	}
 	if a := m.model.HottestAMB(); a > m.res.MaxAMB {
 		m.res.MaxAMB = a

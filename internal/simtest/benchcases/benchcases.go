@@ -1,0 +1,202 @@
+// Package benchcases holds the canonical per-timestep hot-loop
+// benchmarks of the simulator core in importable form. Each case is a
+// plain func(*testing.B) so the same body is (a) registered as a
+// regular benchmark by the *_test.go wrappers in the packages under
+// test and (b) driven programmatically by cmd/benchsnap via
+// testing.Benchmark to produce the pinned BENCH_*.json snapshots. One
+// body, two consumers — the snapshot can never drift from what
+// `go test -bench` measures.
+//
+// The cases deliberately measure the per-timestep units, not end-to-end
+// experiments (bench_test.go at the repo root covers those): the
+// thermal RC update, one level-1 machine tick, one memory-controller
+// scheduling tick, and one level-2 MEMSpot window.
+package benchcases
+
+import (
+	"testing"
+
+	"dramtherm/internal/cpu"
+	"dramtherm/internal/dtm"
+	"dramtherm/internal/fbconfig"
+	"dramtherm/internal/memctrl"
+	"dramtherm/internal/power"
+	"dramtherm/internal/sim"
+	"dramtherm/internal/simtest"
+	"dramtherm/internal/thermal"
+	"dramtherm/internal/trace"
+	"dramtherm/internal/workload"
+)
+
+// Names lists the pinned benchmark cases in snapshot order.
+func Names() []string {
+	return []string{"ThermalStep", "Level1Timestep", "MemctrlTick", "MEMSpotWindow"}
+}
+
+// ByName returns the benchmark body for a pinned case name.
+func ByName(name string) (func(*testing.B), bool) {
+	switch name {
+	case "ThermalStep":
+		return ThermalStep, true
+	case "Level1Timestep":
+		return Level1Timestep, true
+	case "MemctrlTick":
+		return MemctrlTick, true
+	case "MEMSpotWindow":
+		return MEMSpotWindow, true
+	}
+	return nil, false
+}
+
+// ThermalStep measures one thermal timestep of the level-2 loop: the
+// ambient RC update plus Model.Advance over a 4-DIMM channel — the
+// Eq. 3.5 work MEMSpot performs every 10 ms window.
+func ThermalStep(b *testing.B) {
+	c := fbconfig.CoolingAOHS15
+	idle := power.DIMMPower{
+		AMB:  fbconfig.DefaultAMBPower.IdleOther,
+		DRAM: fbconfig.DefaultDRAMPower.Static,
+	}
+	m := thermal.NewModel(c, 50, 4, idle)
+	am := thermal.NewAmbientModel(fbconfig.AmbientIntegrated, 45)
+	pw := []power.DIMMPower{
+		{AMB: 6.5, DRAM: 1.8}, {AMB: 6.2, DRAM: 1.7},
+		{AMB: 6.0, DRAM: 1.6}, {AMB: 5.8, DRAM: 1.5},
+	}
+	act := []thermal.CoreActivity{
+		{Volt: 1.55, IPC: 0.6}, {Volt: 1.55, IPC: 0.5},
+		{Volt: 1.55, IPC: 0.4}, {Volt: 1.55, IPC: 0.3},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Ambient = am.Advance(act, 0.01)
+		if err := m.Advance(pw, 0.01); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Level1Timestep measures one tick of the level-1 machine (one DDR2
+// clock): four cores running the W1 mix over the shared L2 and the
+// FBDIMM memory system, in steady state after warmup.
+func Level1Timestep(b *testing.B) {
+	mc := newW1Machine(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mc.Step()
+	}
+}
+
+// MemctrlTick measures the controller scheduling loop under a full
+// transaction queue — the per-DDR2-clock cost of the level-1 memory
+// system in the backlogged regime. It uses the production calling
+// convention of the level-1 loop: TickAppend into a reused completion
+// buffer, with completed Request structs recycled into new enqueues
+// (as cpu.Multicore does).
+func MemctrlTick(b *testing.B) {
+	c, err := memctrl.New(memctrl.DefaultConfig(fbconfig.DefaultSimParams))
+	if err != nil {
+		b.Fatal(err)
+	}
+	addr := uint64(0)
+	now := 0.0
+	var comps []memctrl.Completion
+	var free []*memctrl.Request
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for !c.Full() {
+			var r *memctrl.Request
+			if n := len(free); n > 0 {
+				r, free = free[n-1], free[:n-1]
+				*r = memctrl.Request{}
+			} else {
+				r = new(memctrl.Request)
+			}
+			r.Addr = addr
+			c.Enqueue(r, now)
+			addr += 64
+		}
+		comps = c.TickAppend(now, comps[:0])
+		for _, comp := range comps {
+			free = append(free, comp.Req)
+		}
+		now += 3
+	}
+}
+
+// MEMSpotWindow measures one 10 ms window of the level-2 simulator —
+// rate lookup, job progress, power evaluation, thermal advance, DTM
+// bookkeeping — over a synthetic rate store, so the cost of the level-2
+// per-timestep loop is isolated from level-1 trace construction.
+func MEMSpotWindow(b *testing.B) {
+	ms := newW1MEMSpot(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ms.StepWindow(); err != nil {
+			b.Fatal(err)
+		}
+		if ms.Done() {
+			b.Fatal("benchmark batch drained; raise Replicas")
+		}
+	}
+}
+
+// newW1Machine builds a warmed-up level-1 machine running W1.
+func newW1Machine(b *testing.B) *cpu.Multicore {
+	b.Helper()
+	params := fbconfig.DefaultSimParams
+	mem, err := memctrl.New(memctrl.DefaultConfig(params))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := cpu.Config{
+		Cores:      params.Cores,
+		MaxFreqGHz: params.DVFS[0].FreqGHz,
+		L2Domain:   make([]int, params.Cores),
+		Params:     params,
+	}
+	mc, err := cpu.New(cfg, mem, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mc.SetFreq(cfg.MaxFreqGHz)
+	mix, err := workload.MixByName("W1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i, n := range mix.Apps {
+		p, err := workload.ByName(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mc.Assign(i, p, 1)
+	}
+	mc.RunFor(3e5) // warm the L2 and fill the memory pipeline
+	return mc
+}
+
+// newW1MEMSpot builds a level-2 run over a synthetic rate store big
+// enough that StepWindow never drains the batch within a benchmark.
+// The rate builder is simtest.SyntheticRates — the same records the
+// differential workloads run on.
+func newW1MEMSpot(b *testing.B) *sim.MEMSpot {
+	b.Helper()
+	mix, err := workload.MixByName("W1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.MEMSpotConfig{
+		Mix:      mix,
+		Replicas: 1 << 20, // effectively inexhaustible
+		Policy:   dtm.NewACG(dtm.DefaultLevels(), 4),
+	}
+	ms, err := sim.NewMEMSpot(cfg, trace.NewStore(trace.BuilderFunc(simtest.SyntheticRates)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ms
+}

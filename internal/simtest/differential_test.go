@@ -1,0 +1,97 @@
+package simtest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestULPDiff pins the comparator itself: adjacent floats are 1 apart,
+// sign-crossing distances count through zero, NaN/Inf behave.
+func TestULPDiff(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		want uint64
+	}{
+		{1.0, 1.0, 0},
+		{1.0, math.Nextafter(1.0, 2.0), 1},
+		{1.0, math.Nextafter(math.Nextafter(1.0, 2.0), 2.0), 2},
+		{-1.0, math.Nextafter(-1.0, 0), 1},
+		{0.0, math.Copysign(0, -1), 1}, // +0 and −0 are adjacent ordinals
+		{math.Inf(1), math.Inf(1), 0},
+	}
+	for _, c := range cases {
+		if got := ULPDiff(c.a, c.b); got != c.want {
+			t.Errorf("ULPDiff(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+	if ULPDiff(math.NaN(), 1) != math.MaxUint64 {
+		t.Error("NaN vs number should be max distance")
+	}
+	if ULPDiff(math.NaN(), math.NaN()) != 0 {
+		t.Error("NaN vs NaN should compare equal")
+	}
+	if d := ULPDiff(math.Inf(1), math.MaxFloat64); d != 1 {
+		t.Errorf("Inf vs MaxFloat64 = %d, want 1", d)
+	}
+}
+
+// TestDifferentialRandomWorkloads is the core differential guarantee:
+// seeded random workload configurations — every mix, all five
+// table-driven policies, noisy and noiseless sensors — run end to end
+// through the fast path and the retained exact path, and every result
+// field agrees within the documented bound. The observed worst-case is
+// also pinned: the two paths are bit-identical today, and this test is
+// where a deliberate future relaxation to 1 ULP must be made visible.
+func TestDifferentialRandomWorkloads(t *testing.T) {
+	n := 12
+	if testing.Short() {
+		n = 4
+	}
+	rng := rand.New(rand.NewSource(8))
+	var worst uint64
+	for i := 0; i < n; i++ {
+		spec := RandomSpec(rng)
+		fast, exact, err := RunBoth(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fast.Seconds <= 0 || fast.Completed == 0 {
+			t.Fatalf("%+v: degenerate run (%.3fs, %d completed)", spec, fast.Seconds, fast.Completed)
+		}
+		w, err := CompareResults(fast, exact, MaxTrajectoryULP)
+		if err != nil {
+			t.Fatalf("spec %d %+v: %v", i, spec, err)
+		}
+		if w > worst {
+			worst = w
+		}
+		t.Logf("spec %d: %-9s %-9s replicas=%d sensor=%v  %.1fs simulated, worst %d ULP",
+			i, spec.MixName, spec.Policy, spec.Replicas, spec.SensorSeed != 0, fast.Seconds, w)
+	}
+	if worst != 0 {
+		t.Errorf("fast path drifted from exact path by %d ULP; today's implementation is bit-identical — "+
+			"if this is a deliberate change, update MaxTrajectoryULP's documentation and docs/PERFORMANCE.md", worst)
+	}
+}
+
+// TestDifferentialDeterminism guards the harness itself: running the
+// same spec twice through the fast path must reproduce identical
+// results, otherwise differential comparisons would be meaningless.
+func TestDifferentialDeterminism(t *testing.T) {
+	spec := RandomSpec(rand.New(rand.NewSource(3)))
+	a1, e1, err := RunBoth(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, e2, err := RunBoth(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompareResults(a1, a2, 0); err != nil {
+		t.Fatalf("fast path not deterministic: %v", err)
+	}
+	if _, err := CompareResults(e1, e2, 0); err != nil {
+		t.Fatalf("exact path not deterministic: %v", err)
+	}
+}

@@ -1,0 +1,69 @@
+package simtest
+
+import (
+	"context"
+	"testing"
+
+	"dramtherm/internal/core"
+	"dramtherm/internal/fbconfig"
+	"dramtherm/internal/sweep"
+)
+
+// goldenConfig is the examples/clusterdtm CI-sized demo configuration —
+// the same oracle the cluster example asserts byte-identical tables
+// against. exact selects the retained thermal path.
+func goldenConfig(exact bool) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Replicas = 1
+	cfg.InstrScale = 0.02
+	cfg.Limits = fbconfig.ThermalLimits{AMBTDP: 103.5, DRAMTDP: 85, AMBTRP: 102.5, DRAMTRP: 84}
+	cfg.ExactThermal = exact
+	return cfg
+}
+
+// TestGoldenReportTables is the experiment-level differential golden
+// test: the W1 × policy grid of the clusterdtm demo runs through real
+// level-1 and level-2 simulation on the fast path — serially and with a
+// parallel worker pool — and on the exact reference path, and all three
+// report tables must come out byte-for-byte identical. Anything that
+// perturbs simulation arithmetic anywhere in the stack (thermal cache,
+// power model precompute, buffer reuse, completion-heap order, trace
+// memo) fails this test at the same oracle the examples assert against.
+func TestGoldenReportTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real simulation skipped in -short mode")
+	}
+	specs := sweep.Grid{
+		Mixes:    []string{"W1"},
+		Policies: []string{"DTM-TS", "DTM-BW", "DTM-ACG", "DTM-CDVFS"},
+	}.Expand()
+
+	tables := make(map[string]string, 3)
+	for _, v := range []struct {
+		name    string
+		exact   bool
+		workers int
+	}{
+		{"fast-serial", false, 1},
+		{"fast-parallel", false, 4},
+		{"exact-serial", true, 1},
+	} {
+		eng := sweep.NewEngine(core.NewSystem(goldenConfig(v.exact)), v.workers)
+		res, err := eng.Sweep(context.Background(), specs, sweep.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", v.name, err)
+		}
+		tables[v.name] = res.Table("cluster sweep").String()
+		if tables[v.name] == "" {
+			t.Fatalf("%s: empty table", v.name)
+		}
+	}
+	if tables["fast-serial"] != tables["exact-serial"] {
+		t.Errorf("fast serial table diverges from exact reference:\nfast:\n%s\nexact:\n%s",
+			tables["fast-serial"], tables["exact-serial"])
+	}
+	if tables["fast-parallel"] != tables["exact-serial"] {
+		t.Errorf("fast parallel table diverges from exact reference:\nparallel:\n%s\nexact:\n%s",
+			tables["fast-parallel"], tables["exact-serial"])
+	}
+}

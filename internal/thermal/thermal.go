@@ -27,11 +27,56 @@ func StableDRAM(c fbconfig.Cooling, ambient fbconfig.Celsius, p power.DIMMPower)
 
 // Step evaluates Eq. 3.5, advancing temperature t toward stable over dt
 // seconds with time constant tau: T(t+Δt) = T + (Tstable−T)(1−e^(−Δt/τ)).
+//
+// Step is the retained reference path: it evaluates math.Exp on every
+// call. The hot loop uses Decay, which computes the identical decay
+// factor once per (dt, tau) pair and reuses it; internal/simtest keeps
+// the two paths differentially tested against each other (they agree
+// bit-for-bit today; the documented contract allows ≤ 1 ULP drift — see
+// docs/PERFORMANCE.md).
 func Step(t, stable fbconfig.Celsius, dt, tau fbconfig.Seconds) fbconfig.Celsius {
 	if tau <= 0 {
 		return stable
 	}
 	return t + (stable-t)*(1-math.Exp(-dt/tau))
+}
+
+// DecayFactor returns 1−e^(−Δt/τ), the fraction of the gap to the
+// stable temperature closed over dt. It is the exact subexpression of
+// Step, hoisted so it can be computed once per (dt, tau) pair. Callers
+// must handle tau <= 0 themselves (Step jumps to stable in that case;
+// no finite factor reproduces that for every float input).
+func DecayFactor(dt, tau fbconfig.Seconds) float64 {
+	return 1 - math.Exp(-dt/tau)
+}
+
+// Decay memoizes the decay factor of one (dt, tau) pair. The simulator
+// grid uses a handful of fixed RC constants and a fixed window, so in
+// steady state Step's per-call math.Exp collapses to one multiply; any
+// change of dt or tau transparently recomputes the factor, so a Decay
+// is always safe to keep across configuration changes. The zero value
+// is ready to use.
+type Decay struct {
+	dt, tau fbconfig.Seconds
+	f       float64
+	jump    bool // tau <= 0: jump straight to stable, as Step does
+	ok      bool
+}
+
+// Step is Step with the factor served from the cache: bit-identical to
+// the package-level Step whenever (dt, tau) matches the cached pair,
+// because the factor is computed by the very same expression.
+func (d *Decay) Step(t, stable fbconfig.Celsius, dt, tau fbconfig.Seconds) fbconfig.Celsius {
+	if !d.ok || d.dt != dt || d.tau != tau {
+		d.dt, d.tau, d.ok = dt, tau, true
+		if d.jump = tau <= 0; !d.jump {
+			d.f = DecayFactor(dt, tau)
+		}
+	}
+	if d.jump {
+		return stable
+	}
+	return t + (stable-t)*d.f
 }
 
 // DIMMState tracks the dynamic temperatures of one DIMM.
@@ -46,6 +91,11 @@ type Model struct {
 	Cooling fbconfig.Cooling
 	Ambient fbconfig.Celsius // current DRAM ambient temperature
 	DIMMs   []DIMMState
+
+	// Cached decay factors for the AMB and DRAM RC constants; they
+	// revalidate against (dt, tau) on every step, so mutating Cooling or
+	// varying dt stays correct.
+	ambDecay, dramDecay Decay
 }
 
 // NewModel returns a model with n DIMMs equilibrated at the idle stable
@@ -63,8 +113,27 @@ func NewModel(c fbconfig.Cooling, ambient fbconfig.Celsius, n int, idle power.DI
 }
 
 // Advance steps every DIMM dt seconds toward the stable temperatures
-// implied by pw (one power pair per DIMM).
+// implied by pw (one power pair per DIMM). This is the fast path: the
+// two exponential decay factors are computed once per (dt, tau) pair
+// and reused across grid points and across timesteps, instead of one
+// math.Exp per DIMM per side per step.
 func (m *Model) Advance(pw []power.DIMMPower, dt fbconfig.Seconds) error {
+	if len(pw) != len(m.DIMMs) {
+		return fmt.Errorf("thermal: %d power entries for %d DIMMs", len(pw), len(m.DIMMs))
+	}
+	for i := range m.DIMMs {
+		sa := StableAMB(m.Cooling, m.Ambient, pw[i])
+		sd := StableDRAM(m.Cooling, m.Ambient, pw[i])
+		m.DIMMs[i].AMB = m.ambDecay.Step(m.DIMMs[i].AMB, sa, dt, m.Cooling.TauAMB)
+		m.DIMMs[i].DRAM = m.dramDecay.Step(m.DIMMs[i].DRAM, sd, dt, m.Cooling.TauDRAM)
+	}
+	return nil
+}
+
+// AdvanceExact is the retained reference implementation of Advance: the
+// per-step math.Exp path the fast path is differentially tested
+// against. Simulation code should use Advance.
+func (m *Model) AdvanceExact(pw []power.DIMMPower, dt fbconfig.Seconds) error {
 	if len(pw) != len(m.DIMMs) {
 		return fmt.Errorf("thermal: %d power entries for %d DIMMs", len(pw), len(m.DIMMs))
 	}
@@ -121,6 +190,8 @@ type AmbientModel struct {
 	Params fbconfig.Ambient
 	Inlet  fbconfig.Celsius
 	T      fbconfig.Celsius
+
+	decay Decay
 }
 
 // NewAmbientModel starts the ambient at the idle stable point (no core
@@ -131,7 +202,16 @@ func NewAmbientModel(p fbconfig.Ambient, inlet fbconfig.Celsius) *AmbientModel {
 
 // Advance steps the ambient dt seconds toward the stable value implied by
 // the current core activity and returns the new ambient temperature.
+// Like Model.Advance, it serves the decay factor from a cache.
 func (am *AmbientModel) Advance(cores []CoreActivity, dt fbconfig.Seconds) fbconfig.Celsius {
+	stable := StableAmbient(am.Params, am.Inlet, cores)
+	am.T = am.decay.Step(am.T, stable, dt, am.Params.TauCPUDRAM)
+	return am.T
+}
+
+// AdvanceExact is the retained math.Exp reference path of Advance, used
+// by the differential harness.
+func (am *AmbientModel) AdvanceExact(cores []CoreActivity, dt fbconfig.Seconds) fbconfig.Celsius {
 	stable := StableAmbient(am.Params, am.Inlet, cores)
 	am.T = Step(am.T, stable, dt, am.Params.TauCPUDRAM)
 	return am.T

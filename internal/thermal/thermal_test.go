@@ -41,13 +41,20 @@ func TestStepEq35(t *testing.T) {
 	}
 }
 
-// Property: Step moves toward stable and never overshoots it.
+// Property: Step moves toward stable and never overshoots it — and the
+// cached-factor fast path (Decay.Step) preserves the invariant, sharing
+// one Decay across all draws so the cache is exercised under changing
+// (dt, tau) pairs.
 func TestStepNoOvershootProperty(t *testing.T) {
+	var d Decay
 	f := func(t0, stable uint16, dtRaw uint8) bool {
 		start := float64(t0%200) + 20
 		target := float64(stable%200) + 20
 		dt := float64(dtRaw%100) + 0.01
 		next := Step(start, target, dt, 50)
+		if next != d.Step(start, target, dt, 50) {
+			return false // fast path must match exactly here (fixed tau)
+		}
 		if start <= target {
 			return next >= start-1e-9 && next <= target+1e-9
 		}
@@ -58,7 +65,78 @@ func TestStepNoOvershootProperty(t *testing.T) {
 	}
 }
 
-// Property: the step update converges to the stable temperature.
+// Property: the cached-factor fast path matches the math.Exp reference
+// exactly — or within 1 ULP, the documented contract — for random
+// (t, stable, dt, tau), including repeated (dt, tau) pairs that hit the
+// cache and tau <= 0 jumps. ulpDiff mirrors simtest.ULPDiff (simtest
+// imports sim which imports thermal, so the helper cannot be imported
+// here).
+func TestDecayMatchesStepProperty(t *testing.T) {
+	var d Decay
+	var cached int
+	var lastDt, lastTau float64
+	f := func(tRaw, sRaw uint16, dtRaw, tauRaw uint8, reuse bool) bool {
+		start := 20 + float64(tRaw)/300
+		target := 20 + float64(sRaw)/300
+		dt := 0.001 + float64(dtRaw)/10
+		tau := float64(tauRaw)/4 - 2 // spans negative, zero and positive tau
+		if reuse && lastDt != 0 {
+			dt, tau = lastDt, lastTau // force a cache hit
+			cached++
+		}
+		lastDt, lastTau = dt, tau
+		want := Step(start, target, dt, tau)
+		got := d.Step(start, target, dt, tau)
+		return ulpDiff(got, want) <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+	if cached == 0 {
+		t.Fatal("property never exercised the cached-factor path")
+	}
+}
+
+// TestDecayMatchesStepExact pins the stronger property the simulator
+// relies on today: for a fixed (dt, tau) served from the cache, the
+// fast path is bit-identical to Step, because the factor is computed by
+// the same expression.
+func TestDecayMatchesStepExact(t *testing.T) {
+	var d Decay
+	for i := 0; i < 1000; i++ {
+		start := 20 + float64(i)*0.097
+		target := 120 - float64(i)*0.083
+		want := Step(start, target, 0.01, 50)
+		if got := d.Step(start, target, 0.01, 50); got != want {
+			t.Fatalf("i=%d: Decay.Step = %v, Step = %v (must be bit-identical)", i, got, want)
+		}
+	}
+	// tau <= 0 must jump to stable exactly, as Step does.
+	if got := d.Step(100, 120, 1, 0); got != 120 {
+		t.Fatalf("tau=0 Decay.Step = %v", got)
+	}
+	if got := d.Step(100, 120, 1, -5); got != 120 {
+		t.Fatalf("tau<0 Decay.Step = %v", got)
+	}
+}
+
+func ulpDiff(a, b float64) uint64 {
+	ord := func(f float64) uint64 {
+		u := math.Float64bits(f)
+		if u&(1<<63) != 0 {
+			return ^u
+		}
+		return u | 1<<63
+	}
+	x, y := ord(a), ord(b)
+	if x > y {
+		return x - y
+	}
+	return y - x
+}
+
+// Property: the step update converges to the stable temperature — on
+// the reference path and on the cached fast path.
 func TestStepConvergence(t *testing.T) {
 	temp := 60.0
 	for i := 0; i < 10000; i++ {
@@ -66,6 +144,42 @@ func TestStepConvergence(t *testing.T) {
 	}
 	if !almost(temp, 110, 0.01) {
 		t.Fatalf("did not converge: %v", temp)
+	}
+	var d Decay
+	temp = 60.0
+	for i := 0; i < 10000; i++ {
+		temp = d.Step(temp, 110, 0.1, 50)
+	}
+	if !almost(temp, 110, 0.01) {
+		t.Fatalf("fast path did not converge: %v", temp)
+	}
+}
+
+// TestAdvanceExactMatchesAdvance runs a model through both Advance
+// paths over a varying power schedule and requires bit-identical
+// states.
+func TestAdvanceExactMatchesAdvance(t *testing.T) {
+	c := fbconfig.CoolingAOHS15
+	idle := power.DIMMPower{AMB: 5.1, DRAM: 0.98}
+	fast := NewModel(c, 50, 4, idle)
+	exact := NewModel(c, 50, 4, idle)
+	for i := 0; i < 500; i++ {
+		w := 5 + 3*math.Sin(float64(i)/7)
+		pw := []power.DIMMPower{
+			{AMB: w, DRAM: w / 3}, {AMB: w * 0.9, DRAM: w / 4},
+			{AMB: w * 0.8, DRAM: w / 5}, {AMB: w * 0.7, DRAM: w / 6},
+		}
+		if err := fast.Advance(pw, 0.01); err != nil {
+			t.Fatal(err)
+		}
+		if err := exact.AdvanceExact(pw, 0.01); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range fast.DIMMs {
+		if fast.DIMMs[i] != exact.DIMMs[i] {
+			t.Fatalf("DIMM %d diverged: fast %+v exact %+v", i, fast.DIMMs[i], exact.DIMMs[i])
+		}
 	}
 }
 

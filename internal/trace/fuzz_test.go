@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// FuzzTraceDecode feeds arbitrary bytes through the chunked trace
+// decoder twice — once in a single Feed, once split at fuzzer-chosen
+// chunk boundaries — and asserts the decoder's three invariants:
+//
+//  1. no input panics, whatever the chunking;
+//  2. chunking invariance: the split decode accepts exactly the streams
+//     the one-shot decode accepts, yields byte-identical records, and
+//     pends exactly the same unfinished tails (truncated records,
+//     partial length prefixes, partial magic);
+//  3. accepted records re-encode deterministically — both decodes
+//     re-frame to the same bytes.
+func FuzzTraceDecode(f *testing.F) {
+	valid := encodeStream(sampleRecords())
+	f.Add(valid, uint64(3))
+	f.Add(valid[:len(valid)-5], uint64(1))                   // truncated mid-record
+	f.Add(valid[:len(codecMagic)+1], uint64(9))              // truncated after length prefix
+	f.Add([]byte(codecMagic), uint64(0))                     // magic only: valid empty stream
+	f.Add([]byte(codecMagic[:4]), uint64(2))                 // partial magic
+	f.Add([]byte("XXTDTRC1\nnope"), uint64(7))               // bad magic
+	f.Add(append([]byte(codecMagic), 0x00), uint64(4))       // zero-length record
+	f.Add(append([]byte(codecMagic), 0xff, 0xff, 0xff, 0xff, // oversized length prefix
+		0xff, 0xff, 0xff, 0xff, 0xff, 0x01), uint64(5))
+	f.Fuzz(func(t *testing.T, data []byte, split uint64) {
+		var one ChunkDecoder
+		all, oneErr := one.Feed(append([]byte(nil), data...), nil)
+		oneFin := one.Finish()
+
+		var two ChunkDecoder
+		var chunked []Rates
+		var twoErr error
+		rng := rand.New(rand.NewSource(int64(split)))
+		rest := data
+		for len(rest) > 0 && twoErr == nil {
+			n := 1 + rng.Intn(len(rest))
+			chunk := append([]byte(nil), rest[:n]...) // decoder must not retain the caller's chunk
+			chunked, twoErr = two.Feed(chunk, chunked)
+			rest = rest[n:]
+		}
+
+		if (oneErr == nil) != (twoErr == nil) {
+			t.Fatalf("error divergence: one-shot %v, chunked %v", oneErr, twoErr)
+		}
+		if oneErr != nil {
+			return // both rejected: the records decoded before the error are best-effort
+		}
+		twoFin := two.Finish()
+		if (oneFin == nil) != (twoFin == nil) {
+			t.Fatalf("finish divergence: one-shot %v, chunked %v", oneFin, twoFin)
+		}
+		if one.Buffered() != two.Buffered() {
+			t.Fatalf("pending bytes diverge: one-shot %d, chunked %d", one.Buffered(), two.Buffered())
+		}
+		if len(all) != len(chunked) {
+			t.Fatalf("record count diverges: one-shot %d, chunked %d", len(all), len(chunked))
+		}
+		for i := range all {
+			a, b := appendRecord(nil, all[i]), appendRecord(nil, chunked[i])
+			if !bytes.Equal(a, b) {
+				t.Fatalf("record %d re-encodes differently under chunking", i)
+			}
+		}
+	})
+}

@@ -3,11 +3,13 @@
 // simulator produces Rates records — steady-state performance and
 // throughput for one combination of running applications under one DTM
 // design point — and the level-2 simulator (MEMSpot) consumes them in
-// 10 ms windows. A Store memoizes records and can persist them with gob,
+// 10 ms windows. A Store memoizes records and can persist them in the
+// framed binary format of codec.go (legacy gob streams still load),
 // mirroring the paper's precomputed trace sets Wi×D.
 package trace
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -234,6 +236,16 @@ func (s *Store) Put(r Rates) {
 	s.mu.Unlock()
 }
 
+// PutBatch inserts a batch of records under one lock acquisition; Load
+// uses it to insert each decoded chunk as it completes.
+func (s *Store) PutBatch(rs []Rates) {
+	s.mu.Lock()
+	for _, r := range rs {
+		s.recs[r.Point] = r
+	}
+	s.mu.Unlock()
+}
+
 // Len returns the number of memoized records.
 func (s *Store) Len() int {
 	s.mu.Lock()
@@ -248,31 +260,93 @@ func (s *Store) Counts() (builds, hits int) {
 	return s.builds, s.hits
 }
 
-// storedRates mirrors Rates for gob with an explicit Inf encoding, since
-// gob handles +Inf fine but we keep the indirection for format stability.
+// storedRates mirrors Rates for the legacy gob format with an explicit
+// Inf encoding; Load still reads such streams.
 type storedRates struct {
 	Rates  Rates
 	InfCap bool
 }
 
-// Save writes all records to w with gob.
+// Save writes all records to w in the framed binary format (codec.go).
+// Records are sorted by design point so the same record set always
+// produces the same bytes.
 func (s *Store) Save(w io.Writer) error {
 	s.mu.Lock()
-	recs := make([]storedRates, 0, len(s.recs))
+	recs := make([]Rates, 0, len(s.recs))
 	for _, r := range s.recs {
-		sr := storedRates{Rates: r}
-		if math.IsInf(r.Point.BWCapGBps, 1) {
-			sr.InfCap = true
-			sr.Rates.Point.BWCapGBps = -1
-		}
-		recs = append(recs, sr)
+		recs = append(recs, r)
 	}
 	s.mu.Unlock()
-	return gob.NewEncoder(w).Encode(recs)
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := recs[i].Point, recs[j].Point
+		if a.Apps != b.Apps {
+			return a.Apps < b.Apps
+		}
+		if a.FreqGHz != b.FreqGHz {
+			return a.FreqGHz < b.FreqGHz
+		}
+		if a.BWCapGBps != b.BWCapGBps {
+			return a.BWCapGBps < b.BWCapGBps
+		}
+		return !a.MemOff && b.MemOff
+	})
+	buf := []byte(codecMagic)
+	for _, r := range recs {
+		buf = appendRecord(buf, r)
+	}
+	_, err := w.Write(buf)
+	return err
 }
 
-// Load reads records written by Save and inserts them.
+// loadChunkBytes sizes the Load read buffer; a var so tests can shrink
+// it to force records to span chunk boundaries.
+var loadChunkBytes = 64 << 10
+
+// Load reads records written by Save and inserts them. It sniffs the
+// stream: framed streams decode incrementally in fixed-size chunks
+// (each decoded batch inserted via PutBatch as it completes), legacy
+// gob streams fall back to the old one-shot decoder.
 func (s *Store) Load(r io.Reader) error {
+	head := make([]byte, len(codecMagic))
+	n, err := io.ReadFull(r, head)
+	if err != nil && err != io.ErrUnexpectedEOF && err != io.EOF {
+		return fmt.Errorf("trace: load: %w", err)
+	}
+	head = head[:n]
+	if string(head) != codecMagic {
+		return s.loadGob(io.MultiReader(bytes.NewReader(head), r))
+	}
+
+	var dec ChunkDecoder
+	if _, err := dec.Feed(head, nil); err != nil {
+		return fmt.Errorf("trace: load: %w", err)
+	}
+	chunk := make([]byte, loadChunkBytes)
+	var batch []Rates
+	for {
+		n, rerr := r.Read(chunk)
+		if n > 0 {
+			batch, err = dec.Feed(chunk[:n], batch[:0])
+			if err != nil {
+				return fmt.Errorf("trace: load: %w", err)
+			}
+			s.PutBatch(batch)
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			return fmt.Errorf("trace: load: %w", rerr)
+		}
+	}
+	if err := dec.Finish(); err != nil {
+		return fmt.Errorf("trace: load: %w", err)
+	}
+	return nil
+}
+
+// loadGob reads the legacy one-blob gob format.
+func (s *Store) loadGob(r io.Reader) error {
 	var recs []storedRates
 	if err := gob.NewDecoder(r).Decode(&recs); err != nil {
 		return fmt.Errorf("trace: load: %w", err)
