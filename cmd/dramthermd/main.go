@@ -97,7 +97,7 @@ import (
 )
 
 // version is reported by GET /v1/healthz.
-const version = "0.7.0"
+const version = "0.8.0"
 
 // parsePeers expands the -peers flag: either a comma-separated list of
 // entries or @path naming a file with one entry per line (blank lines

@@ -13,9 +13,13 @@
 //	memtherm -run all -state s.gob # durable cache: results persist to the
 //	                               # s.gob.d segment log as they complete
 //	                               # (a legacy s.gob blob migrates once)
+//	memtherm -search halving -quick # adaptive search for the best DTM
+//	                               # policy: cheap fidelity rungs prune
+//	                               # candidates before full simulation
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -35,6 +39,7 @@ func main() {
 		csv      = flag.Bool("csv", false, "emit tables as CSV")
 		parallel = flag.Int("parallel", 1, "experiments to run concurrently; also sizes the simulation worker pool (0 = GOMAXPROCS)")
 		state    = flag.String("state", "", "durable state: results append to the <path>.d segment log as they complete; a legacy gob blob at <path> migrates once")
+		search   = flag.String("search", "", "adaptive search instead of an experiment: \"halving\" or \"bounds\" finds the best DTM policy per Chapter 4 mix, pruning on cheap fidelity rungs")
 	)
 	flag.Parse()
 
@@ -44,7 +49,7 @@ func main() {
 		}
 		return
 	}
-	if *run == "" {
+	if *run == "" && *search == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -59,6 +64,15 @@ func main() {
 		log.Fatalf("engine: %v", err)
 	}
 	defer eng.Close()
+
+	if *search != "" {
+		if err := runSearch(eng, *search, *quick, *csv); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			eng.Close() //nolint:errcheck // os.Exit skips the deferred close
+			os.Exit(1)
+		}
+		return
+	}
 	runner := exp.NewRunnerFor(eng.Engine, *quick)
 
 	ids := strings.Split(*run, ",")
@@ -129,4 +143,44 @@ func main() {
 		}
 		fmt.Print(outs[i].text)
 	}
+}
+
+// runSearch finds the best Chapter 4 DTM policy adaptively: every
+// (mix, policy) candidate is measured at cheap fidelity rungs first,
+// and only the survivors pay for full-length simulation.
+func runSearch(eng *dramtherm.Engine, strategy string, quick, csv bool) error {
+	mixes := []string{"W1", "W2", "W3", "W4", "W5", "W6", "W7", "W8"}
+	if quick {
+		mixes = mixes[:2]
+	}
+	candidates := dramtherm.Grid{
+		Mixes:    mixes,
+		Policies: []string{"DTM-TS", "DTM-BW", "DTM-ACG", "DTM-CDVFS"},
+	}.Expand()
+
+	var strat dramtherm.Strategy
+	switch strategy {
+	case "halving":
+		strat = &dramtherm.Halving{Candidates: candidates}
+	case "bounds":
+		strat = &dramtherm.BoundPrune{Candidates: candidates}
+	default:
+		return fmt.Errorf("unknown -search strategy %q (want halving or bounds)", strategy)
+	}
+
+	start := time.Now()
+	res, err := eng.Search(context.Background(), strat, dramtherm.SearchOptions{Normalize: true})
+	if err != nil {
+		return err
+	}
+	tab := res.Table(fmt.Sprintf("adaptive %s search over %d candidates, %.1fs wall",
+		strategy, len(candidates), time.Since(start).Seconds()))
+	if csv {
+		fmt.Print(tab.CSV())
+	} else {
+		fmt.Print(tab.String())
+	}
+	fmt.Printf("best %s (normalized runtime %.3f); %d of %d candidates reached full fidelity\n",
+		res.Best, res.BestObjective, res.FullFidelityRuns, len(candidates))
+	return nil
 }

@@ -1,10 +1,12 @@
 package dramtherm
 
 import (
+	"context"
 	"time"
 
 	"dramtherm/internal/core"
 	"dramtherm/internal/sweep"
+	"dramtherm/internal/sweep/search"
 )
 
 // Re-exported sweep types: the concurrent engine's vocabulary, usable
@@ -28,6 +30,55 @@ type (
 	CacheStats = sweep.Stats
 	// StateStats snapshots the durable segment log (sweep.StateStats).
 	StateStats = sweep.StateStats
+
+	// Event is one per-spec (or per-round) lifecycle notification
+	// delivered to SweepOptions.OnEvent and SearchOptions.OnEvent
+	// (sweep.Event).
+	Event = sweep.Event
+	// EventKind classifies an Event (sweep.EventKind).
+	EventKind = sweep.EventKind
+	// Outcome tells how a run was served: built, cache hit, or joined
+	// an in-flight duplicate (sweep.Outcome).
+	Outcome = sweep.Outcome
+	// RunInfo is the outcome plus the executing cluster peer
+	// (sweep.RunInfo).
+	RunInfo = sweep.RunInfo
+)
+
+// Event kinds delivered to OnEvent callbacks.
+const (
+	EventStarted       = sweep.EventStarted
+	EventFinished      = sweep.EventFinished
+	EventError         = sweep.EventError
+	EventRoundStarted  = sweep.EventRoundStarted
+	EventRoundFinished = sweep.EventRoundFinished
+)
+
+// Cache outcomes carried by Event.Outcome and RunInfo.Outcome.
+const (
+	Built  = sweep.Built
+	Hit    = sweep.Hit
+	Joined = sweep.Joined
+)
+
+// Re-exported adaptive-search types: plan sweeps round by round
+// instead of exhaustively (internal/sweep/search).
+type (
+	// Strategy plans an adaptive search: Next(completed rounds) →
+	// next round's specs, done (search.Strategy).
+	Strategy = search.Strategy
+	// SearchOptions configures Engine.Search (search.Options).
+	SearchOptions = search.Options
+	// SearchResult is a completed adaptive search: rounds, winner,
+	// full-fidelity run count (search.Result).
+	SearchResult = search.Result
+	// SearchRound is one completed round of a search (search.Round).
+	SearchRound = search.Round
+	// Halving is the successive-halving strategy (search.Halving).
+	Halving = search.Halving
+	// BoundPrune is the bound-driven refinement strategy
+	// (search.BoundPrune).
+	BoundPrune = search.BoundPrune
 )
 
 // Engine is the public handle on the concurrent sweep engine: a
@@ -46,6 +97,21 @@ type (
 //	}.Expand(), dramtherm.SweepOptions{Normalize: true})
 type Engine struct {
 	*sweep.Engine
+}
+
+// Search runs an adaptive multi-round sweep: the strategy plans each
+// round from the completed ones, every round executes through the
+// regular Sweep path (worker pool, run cache, batch backend, events),
+// and the final full-fidelity round's best candidate wins.
+//
+//	res, err := eng.Search(ctx, &dramtherm.Halving{
+//		Candidates: dramtherm.Grid{
+//			Mixes:    []string{"W1", "W2"},
+//			Policies: []string{"DTM-TS", "DTM-ACG"},
+//		}.Expand(),
+//	}, dramtherm.SearchOptions{Normalize: true})
+func (e *Engine) Search(ctx context.Context, strat Strategy, opts SearchOptions) (*SearchResult, error) {
+	return search.Run(ctx, e.Engine, strat, opts)
 }
 
 // engineOptions collects NewEngine's functional options.

@@ -1,0 +1,215 @@
+// searchdtm demonstrates adaptive search end to end and checks its two
+// promises against an exhaustive grid sweep of the same candidates:
+//
+//  1. Fidelity: the search finds the same best DTM configuration as the
+//     exhaustive sweep.
+//  2. Economy: at most half the candidates reach full-fidelity
+//     simulation — the rest are pruned on cheap fidelity rungs.
+//
+// It also proves determinism (two independent searches render
+// byte-identical report tables) and drives the HTTP surface: an
+// embedded dramthermd runs the same search as an async job whose SSE
+// stream carries round-boundary events.
+//
+// Usage:
+//
+//	go run ./examples/searchdtm
+//	go run ./examples/searchdtm -strategy bounds -instrscale 0.02
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	"dramtherm"
+	"dramtherm/internal/core"
+	"dramtherm/internal/httpapi"
+	"dramtherm/internal/sweep"
+)
+
+func main() {
+	var (
+		workers  = flag.Int("workers", 0, "simulation worker pool width (0 = GOMAXPROCS)")
+		strategy = flag.String("strategy", "halving", "search strategy: halving or bounds")
+		full     = flag.Bool("full", false, "full-scale batches (default is a fast demo scale)")
+		scale    = flag.Float64("instrscale", 0, "override the application length scale factor")
+	)
+	flag.Parse()
+
+	cfg := dramtherm.DefaultConfig()
+	if !*full {
+		// Demo scale, as in examples/sweepgrid: one batch round, short
+		// applications, lowered limits so the DTM policies engage.
+		cfg.Replicas = 1
+		cfg.InstrScale = 0.05
+		cfg.Limits = dramtherm.ThermalLimits{AMBTDP: 103.5, DRAMTDP: 85, AMBTRP: 102.5, DRAMTRP: 84}
+	}
+	if *scale > 0 {
+		cfg.InstrScale = *scale
+	}
+
+	candidates := dramtherm.Grid{
+		Mixes:    []string{"W1", "W2"},
+		Policies: []string{"DTM-TS", "DTM-BW", "DTM-ACG", "DTM-CDVFS"},
+	}.Expand()
+
+	// Exhaustive baseline: sweep every candidate at full fidelity.
+	gridBest, gridObj := exhaustive(cfg, *workers, candidates)
+	fmt.Printf("exhaustive grid: %d full-fidelity simulations, best %s (%.3f)\n\n",
+		len(candidates), gridBest, gridObj)
+
+	// The same space, searched adaptively — twice, on cold engines, to
+	// prove the rounds and tables are deterministic.
+	res := search(cfg, *workers, *strategy, candidates)
+	again := search(cfg, *workers, *strategy, candidates)
+	fmt.Print(res.Table("adaptive search").String())
+	fmt.Printf("\nadaptive %s search: %d of %d candidates reached full fidelity, best %s (%.3f)\n",
+		*strategy, res.FullFidelityRuns, len(candidates), res.Best, res.BestObjective)
+
+	if t1, t2 := res.Table("t").String(), again.Table("t").String(); t1 != t2 {
+		log.Fatalf("nondeterministic search: two cold runs rendered different tables:\n%s\nvs\n%s", t1, t2)
+	}
+	fmt.Println("determinism: two cold searches rendered byte-identical tables")
+	// Compare canonical names: the searched winner carries an explicit
+	// full-fidelity InstrScale of 1 where the grid spec left it 0, and
+	// the two spell the same configuration.
+	if res.Best.String() != gridBest.String() {
+		log.Fatalf("search best %s != exhaustive best %s", res.Best, gridBest)
+	}
+	fmt.Println("fidelity: search winner matches the exhaustive winner")
+	// Halving's economy holds by construction (each rung keeps half);
+	// bound pruning adapts to the landscape — a flat one is correctly
+	// kept whole rather than pruned at the risk of the optimum.
+	if *strategy == "halving" && 2*res.FullFidelityRuns > len(candidates) {
+		log.Fatalf("economy violated: %d of %d candidates simulated at full fidelity (want <= 50%%)",
+			res.FullFidelityRuns, len(candidates))
+	}
+	fmt.Printf("economy: %d/%d candidates fully simulated\n\n", res.FullFidelityRuns, len(candidates))
+
+	// The HTTP surface: the same search as an async job on an embedded
+	// server, with round boundaries visible on the SSE stream.
+	if err := serverSearch(cfg, *strategy); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func exhaustive(cfg dramtherm.Config, workers int, specs []dramtherm.Spec) (dramtherm.Spec, float64) {
+	eng, err := dramtherm.NewEngine(cfg, dramtherm.WithWorkers(workers))
+	if err != nil {
+		log.Fatalf("engine: %v", err)
+	}
+	defer eng.Close()
+	res, err := eng.Sweep(context.Background(), specs, dramtherm.SweepOptions{Normalize: true})
+	if err != nil {
+		log.Fatalf("exhaustive sweep: %v", err)
+	}
+	best := 0
+	for i := range specs {
+		if res.Norms[i] < res.Norms[best] {
+			best = i
+		}
+	}
+	return specs[best], res.Norms[best]
+}
+
+func search(cfg dramtherm.Config, workers int, strategy string, candidates []dramtherm.Spec) *dramtherm.SearchResult {
+	eng, err := dramtherm.NewEngine(cfg, dramtherm.WithWorkers(workers))
+	if err != nil {
+		log.Fatalf("engine: %v", err)
+	}
+	defer eng.Close()
+	var strat dramtherm.Strategy
+	switch strategy {
+	case "halving":
+		strat = &dramtherm.Halving{Candidates: candidates}
+	case "bounds":
+		strat = &dramtherm.BoundPrune{Candidates: candidates}
+	default:
+		log.Fatalf("unknown -strategy %q (want halving or bounds)", strategy)
+	}
+	res, err := eng.Search(context.Background(), strat, dramtherm.SearchOptions{Normalize: true})
+	if err != nil {
+		log.Fatalf("search: %v", err)
+	}
+	return res
+}
+
+// serverSearch submits the search as an async job against an embedded
+// httpapi server and follows its SSE stream, expecting round-boundary
+// events between the per-spec ones.
+func serverSearch(cfg dramtherm.Config, strategy string) error {
+	eng := sweep.NewEngine(core.NewSystem(cfg), 0)
+	api := httpapi.New(context.Background(), eng, httpapi.Config{})
+	defer api.Close()
+	ts := httptest.NewServer(api)
+	defer ts.Close()
+	fmt.Printf("embedded dramthermd at %s\n", ts.URL)
+
+	body, err := json.Marshal(map[string]any{
+		"grid": sweep.Grid{
+			Mixes:    []string{"W1", "W2"},
+			Policies: []string{"DTM-TS", "DTM-BW", "DTM-ACG", "DTM-CDVFS"},
+		},
+		"normalize": true,
+		"search":    map[string]any{"strategy": strategy},
+	})
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(ts.URL+"/v1/sweeps?async=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	var submitted struct {
+		ID string `json:"id"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&submitted)
+	resp.Body.Close()
+	if err != nil || submitted.ID == "" {
+		return fmt.Errorf("submit failed (%s): %v", resp.Status, err)
+	}
+	fmt.Printf("submitted search job %s\n", submitted.ID)
+
+	stream, err := http.Get(ts.URL + "/v1/runs/" + submitted.ID + "/events")
+	if err != nil {
+		return err
+	}
+	defer stream.Body.Close()
+	rounds := 0
+	sc := bufio.NewScanner(stream.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev sweep.JobEvent
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			return fmt.Errorf("bad event %q: %w", line, err)
+		}
+		switch ev.Kind {
+		case string(sweep.EventRoundStarted):
+			fmt.Printf("  round %d started: rung %g, %d candidates\n", ev.Round, ev.Rung, ev.Total)
+		case string(sweep.EventRoundFinished):
+			fmt.Printf("  round %d finished: %d survive, %d pruned\n", ev.Round, ev.Survivors, ev.Pruned)
+			rounds++
+		case "done", "error", "cancelled":
+			if ev.Kind != "done" {
+				return fmt.Errorf("job ended %s", ev.Kind)
+			}
+			if rounds < 2 {
+				return fmt.Errorf("only %d round_finished events on the SSE stream, want >= 2", rounds)
+			}
+			fmt.Printf("job done: %d rounds streamed over SSE\n", rounds)
+			return nil
+		}
+	}
+	return fmt.Errorf("event stream ended without a terminal event: %w", sc.Err())
+}

@@ -112,6 +112,10 @@ type RunSpec struct {
 	Interval float64
 	// Limits overrides the thermal limits when nonzero (TRP/TDP sweeps).
 	Limits fbconfig.ThermalLimits
+	// InstrScale multiplies the system's application-length scale when
+	// nonzero: fractional values run the same mix at reduced fidelity
+	// (adaptive search rungs), 1 is full fidelity.
+	InstrScale float64
 }
 
 // ConfigDigest returns a short stable hash of the system configuration.
@@ -156,6 +160,13 @@ func (s *System) RunCtx(ctx context.Context, spec RunSpec) (sim.MEMSpotResult, e
 	if win > 0.01 {
 		win = 0.01
 	}
+	scale := s.cfg.InstrScale
+	if scale == 0 {
+		scale = 1 // MEMSpot would default it; multiply against the real base
+	}
+	if spec.InstrScale > 0 {
+		scale *= spec.InstrScale
+	}
 	cfg := sim.MEMSpotConfig{
 		Mix:          spec.Mix,
 		Replicas:     s.cfg.Replicas,
@@ -168,7 +179,7 @@ func (s *System) RunCtx(ctx context.Context, spec RunSpec) (sim.MEMSpotResult, e
 		DVFS:         s.cfg.DVFS,
 		WindowS:      win,
 		DTMIntervalS: interval,
-		InstrScale:   s.cfg.InstrScale,
+		InstrScale:   scale,
 		ExactThermal: s.cfg.ExactThermal,
 	}
 	return sim.RunMixCtx(ctx, cfg, s.store)

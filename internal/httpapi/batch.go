@@ -29,23 +29,23 @@ func (s *Server) handleExecBatch(w http.ResponseWriter, r *http.Request) {
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBytes)).Decode(&req); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			writeClientErr(w, http.StatusRequestEntityTooLarge, fmt.Errorf("batch body exceeds %d bytes", tooBig.Limit))
+			writeErr(w, http.StatusRequestEntityTooLarge, CodeTooLarge, fmt.Errorf("batch body exceeds %d bytes", tooBig.Limit))
 			return
 		}
-		writeClientErr(w, http.StatusBadRequest, fmt.Errorf("decoding batch: %w", err))
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("decoding batch: %w", err))
 		return
 	}
 	if len(req.Specs) == 0 {
-		writeClientErr(w, http.StatusBadRequest, errors.New("empty batch: provide specs"))
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, errors.New("empty batch: provide specs"))
 		return
 	}
 	if len(req.Specs) > s.maxBatch {
-		writeClientErr(w, http.StatusRequestEntityTooLarge, fmt.Errorf("batch of %d specs exceeds limit %d", len(req.Specs), s.maxBatch))
+		writeErr(w, http.StatusRequestEntityTooLarge, CodeTooLarge, fmt.Errorf("batch of %d specs exceeds limit %d", len(req.Specs), s.maxBatch))
 		return
 	}
 	for i, sp := range req.Specs {
 		if err := s.eng.Validate(sp); err != nil {
-			writeClientErr(w, http.StatusBadRequest, fmt.Errorf("spec %d: %w", i, err))
+			writeErr(w, http.StatusBadRequest, CodeBadSpec, fmt.Errorf("spec %d: %w", i, err))
 			return
 		}
 	}

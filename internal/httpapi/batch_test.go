@@ -107,13 +107,19 @@ func TestBatchExecErrorPaths(t *testing.T) {
 		t.Errorf("invalid spec: status = %d, want 400", resp.StatusCode)
 	}
 	var e struct {
-		Error string `json:"error"`
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(e.Error, "spec 1") {
-		t.Errorf("invalid-spec error %q does not name the offending index", e.Error)
+	if e.Error.Code != CodeBadSpec {
+		t.Errorf("invalid-spec error code = %q, want %q", e.Error.Code, CodeBadSpec)
+	}
+	if !strings.Contains(e.Error.Message, "spec 1") {
+		t.Errorf("invalid-spec error %q does not name the offending index", e.Error.Message)
 	}
 	if resp := post(`{"specs":[{"mix":"W1"},{"mix":"W2"},{"mix":"W3"}]}`); resp.StatusCode != http.StatusRequestEntityTooLarge {
 		t.Errorf("oversized shard: status = %d, want 413", resp.StatusCode)

@@ -18,6 +18,7 @@ import (
 	"dramtherm/internal/sweep"
 	"dramtherm/internal/sweep/remote"
 	"dramtherm/internal/sweep/remote/gossip"
+	"dramtherm/internal/sweep/search"
 )
 
 // Config tunes a Server. The zero value selects the defaults.
@@ -87,6 +88,7 @@ type Server struct {
 	mSSESubs    *obs.Gauge
 	mSSEDropped *obs.Counter
 	mHandoff    *obs.CounterVec // {result}
+	search      *search.Metrics
 
 	// Handoff ingestion counters; also surfaced without Metrics.
 	handoffAccepted atomic.Int64
@@ -148,6 +150,7 @@ func New(base context.Context, eng *sweep.Engine, cfg Config) *Server {
 		s.mHandoff = reg.CounterVec("dramtherm_handoff_received_total",
 			"Results received via POST /v1/handoff, by disposition (accepted: imported into the cache; skipped: already present or wrong config digest).",
 			"result")
+		s.search = search.Instrument(reg)
 		s.jobs.Instrument(reg)
 		s.handle("GET /metrics", reg.Handler().ServeHTTP)
 	}
@@ -214,19 +217,13 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v) //nolint:errcheck // nothing to do about a dead client
 }
 
-// writeClientErr reports a 4xx whose cause is the client's own input;
-// the message is safe (and useful) to return verbatim.
-func writeClientErr(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
-}
-
 // writeServerErr reports a 5xx: the underlying error is logged
 // server-side — tagged with the request's method, path and correlation
-// id — and the client gets a generic body, so internal details (paths,
-// config digests, backend state) never leak onto the wire.
+// id — and the client gets a generic envelope, so internal details
+// (paths, config digests, backend state) never leak onto the wire.
 func (s *Server) writeServerErr(w http.ResponseWriter, r *http.Request, err error) {
 	s.log.Error("httpapi: internal error", s.reqAttrs(r, "err", err.Error())...)
-	writeJSON(w, http.StatusInternalServerError, map[string]string{"error": "internal error"})
+	writeErr(w, http.StatusInternalServerError, CodeInternal, errors.New("internal error"))
 }
 
 // reqAttrs builds the request-context log attributes every error log
@@ -310,15 +307,15 @@ func (s *Server) handleHandoff(w http.ResponseWriter, r *http.Request) {
 			if errors.Is(err, io.EOF) {
 				break
 			}
-			writeClientErr(w, http.StatusBadRequest, fmt.Errorf("decoding handoff line %d: %w", n, err))
+			writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("decoding handoff line %d: %w", n, err))
 			return
 		}
 		if ln.Key == "" || ln.Result == nil {
-			writeClientErr(w, http.StatusBadRequest, fmt.Errorf("handoff line %d lacks key or result", n))
+			writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("handoff line %d lacks key or result", n))
 			return
 		}
 		if n >= s.maxBatch {
-			writeClientErr(w, http.StatusRequestEntityTooLarge,
+			writeErr(w, http.StatusRequestEntityTooLarge, CodeTooLarge,
 				fmt.Errorf("handoff stream exceeds %d lines", s.maxBatch))
 			return
 		}
@@ -340,16 +337,16 @@ func (s *Server) handleHandoff(w http.ResponseWriter, r *http.Request) {
 // payloads are rejected whole (400) before they can touch the table.
 func (s *Server) handleGossip(w http.ResponseWriter, r *http.Request) {
 	if s.gossip == nil {
-		writeClientErr(w, http.StatusNotFound, fmt.Errorf("gossip is not enabled on this node"))
+		writeErr(w, http.StatusNotFound, CodeNotEnabled, errors.New("gossip is not enabled on this node"))
 		return
 	}
 	var msg gossip.Message
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20)).Decode(&msg); err != nil {
-		writeClientErr(w, http.StatusBadRequest, fmt.Errorf("decoding gossip message: %w", err))
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("decoding gossip message: %w", err))
 		return
 	}
 	if len(msg.Members) > gossip.MaxMembers {
-		writeClientErr(w, http.StatusBadRequest, fmt.Errorf("gossip message has %d members (max %d)", len(msg.Members), gossip.MaxMembers))
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("gossip message has %d members (max %d)", len(msg.Members), gossip.MaxMembers))
 		return
 	}
 	writeJSON(w, http.StatusOK, s.gossip.HandleExchange(msg))
@@ -362,11 +359,11 @@ func (s *Server) handleGossip(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 	var spec sweep.Spec
 	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
-		writeClientErr(w, http.StatusBadRequest, fmt.Errorf("decoding spec: %w", err))
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("decoding spec: %w", err))
 		return
 	}
 	if err := s.eng.Validate(spec); err != nil {
-		writeClientErr(w, http.StatusBadRequest, err)
+		writeErr(w, http.StatusBadRequest, CodeBadSpec, err)
 		return
 	}
 	ctx, cancel := mergeDone(r.Context(), s.base)
@@ -380,9 +377,9 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 		// cannot eject every healthy peer in turn.
 		s.log.Warn("httpapi: exec failed", s.reqAttrs(r, "err", err.Error())...)
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "node draining"})
+			writeErr(w, http.StatusServiceUnavailable, CodeNodeDraining, errors.New("node draining"))
 		} else {
-			writeJSON(w, http.StatusUnprocessableEntity, map[string]string{"error": err.Error()})
+			writeErr(w, http.StatusUnprocessableEntity, CodeSpecFailed, err)
 		}
 		return
 	}
@@ -403,6 +400,7 @@ type jobView struct {
 	Total     int             `json:"total"`
 	Result    *runSummary     `json:"result,omitempty"` // run jobs, when done
 	Sweep     *sweepResponse  `json:"sweep,omitempty"`  // sweep jobs, when done
+	Search    *searchResponse `json:"search,omitempty"` // search jobs, when done
 }
 
 // sweepPayload is what a finished sweep job stores in the registry: the
@@ -433,6 +431,8 @@ func (s *Server) viewJob(snap sweep.JobSnapshot, traces bool) jobView {
 		v.Result = summarize(res, traces)
 	case *sweepPayload:
 		v.Sweep = s.sweepResponseOf(snap.Specs, res.res, res.normalize, res.wall, traces)
+	case *searchPayload:
+		v.Search = s.searchResponseOf(res.res, res.wall, traces)
 	}
 	return v
 }
@@ -440,12 +440,12 @@ func (s *Server) viewJob(snap sweep.JobSnapshot, traces bool) jobView {
 func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
 	var spec sweep.Spec
 	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
-		writeClientErr(w, http.StatusBadRequest, fmt.Errorf("decoding spec: %w", err))
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("decoding spec: %w", err))
 		return
 	}
 	// Validate now so the client gets a 400 rather than a failed job.
 	if err := s.eng.Validate(spec); err != nil {
-		writeClientErr(w, http.StatusBadRequest, err)
+		writeErr(w, http.StatusBadRequest, CodeBadSpec, err)
 		return
 	}
 	// The job outlives the request, but its logs and dispatches keep the
@@ -453,7 +453,7 @@ func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
 	job, err := s.jobs.Create(obs.WithRequestID(s.base, obs.RequestID(r.Context())), sweep.JobRun, []sweep.Spec{spec})
 	if err != nil {
 		// Registry exhaustion is load, not client error: 503 invites retry.
-		writeClientErr(w, http.StatusServiceUnavailable, err)
+		writeErr(w, http.StatusServiceUnavailable, CodeRegistryFull, err)
 		return
 	}
 	go func() {
@@ -483,17 +483,17 @@ func (s *Server) handleListRuns(w http.ResponseWriter, r *http.Request) {
 	switch status {
 	case "", sweep.JobRunning, sweep.JobDone, sweep.JobError, sweep.JobCancelled:
 	default:
-		writeClientErr(w, http.StatusBadRequest, fmt.Errorf("unknown status %q", status))
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("unknown status %q", status))
 		return
 	}
 	offset, err := intParam(q.Get("offset"), 0)
 	if err != nil {
-		writeClientErr(w, http.StatusBadRequest, err)
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
 		return
 	}
 	limit, err := intParam(q.Get("limit"), 50)
 	if err != nil {
-		writeClientErr(w, http.StatusBadRequest, err)
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
 		return
 	}
 	if limit == 0 {
@@ -523,7 +523,7 @@ func intParam(v string, def int) (int, error) {
 func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.jobs.Get(r.PathValue("id"))
 	if !ok {
-		writeClientErr(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		writeErr(w, http.StatusNotFound, CodeJobNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
 		return
 	}
 	writeJSON(w, http.StatusOK, s.viewJob(job.Snapshot(), wantFlag(r, "traces")))
@@ -534,7 +534,7 @@ func (s *Server) handleDeleteRun(w http.ResponseWriter, r *http.Request) {
 	evicted, ok := s.jobs.Cancel(id)
 	switch {
 	case !ok:
-		writeClientErr(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		writeErr(w, http.StatusNotFound, CodeJobNotFound, fmt.Errorf("unknown job %q", id))
 	case evicted:
 		writeJSON(w, http.StatusOK, map[string]string{"id": id, "status": "evicted"})
 	default:
@@ -550,6 +550,9 @@ type sweepRequest struct {
 	Specs     []sweep.Spec `json:"specs,omitempty"`
 	Grid      *sweep.Grid  `json:"grid,omitempty"`
 	Normalize bool         `json:"normalize,omitempty"`
+	// Search switches the request from an exhaustive sweep to an
+	// adaptive search over the same candidates.
+	Search *searchRequest `json:"search,omitempty"`
 }
 
 // sweepResponse reports per-spec summaries plus the aggregate table.
@@ -588,7 +591,7 @@ func (s *Server) sweepResponseOf(specs []sweep.Spec, res *sweep.Result, normaliz
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var req sweepRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeClientErr(w, http.StatusBadRequest, fmt.Errorf("decoding sweep: %w", err))
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("decoding sweep: %w", err))
 		return
 	}
 	specs := req.Specs
@@ -596,27 +599,52 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		specs = append(specs, req.Grid.Expand()...)
 	}
 	if len(specs) == 0 {
-		writeClientErr(w, http.StatusBadRequest, fmt.Errorf("empty sweep: provide specs or a grid with mixes"))
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, errors.New("empty sweep: provide specs or a grid with mixes"))
 		return
 	}
 	for _, sp := range specs {
 		if err := s.eng.Validate(sp); err != nil {
-			writeClientErr(w, http.StatusBadRequest, err)
+			writeErr(w, http.StatusBadRequest, CodeBadSpec, err)
 			return
 		}
 	}
+	kind := sweep.JobSweep
+	var strat search.Strategy
+	if req.Search != nil {
+		var err error
+		if strat, err = req.Search.strategy(specs); err != nil {
+			writeErr(w, http.StatusBadRequest, CodeBadSearch, err)
+			return
+		}
+		kind = sweep.JobSearch
+	}
 
 	if wantFlag(r, "async") {
-		job, err := s.jobs.Create(obs.WithRequestID(s.base, obs.RequestID(r.Context())), sweep.JobSweep, specs)
+		job, err := s.jobs.Create(obs.WithRequestID(s.base, obs.RequestID(r.Context())), kind, specs)
 		if err != nil {
-			writeClientErr(w, http.StatusServiceUnavailable, err)
+			writeErr(w, http.StatusServiceUnavailable, CodeRegistryFull, err)
 			return
 		}
 		go func() {
 			start := time.Now()
+			onEvent := func(ev sweep.Event) { job.Publish(sweep.JobEventFrom(ev)) }
+			if strat != nil {
+				res, err := search.Run(job.Context(), s.eng, strat, search.Options{
+					Normalize: req.Normalize,
+					OnEvent:   onEvent,
+					MaxRounds: req.Search.MaxRounds,
+					Metrics:   s.search,
+				})
+				if err != nil {
+					job.Finish(nil, err)
+					return
+				}
+				job.Finish(&searchPayload{res: res, wall: time.Since(start).Seconds()}, nil)
+				return
+			}
 			res, err := s.eng.Sweep(job.Context(), specs, sweep.Options{
 				Normalize: req.Normalize,
-				OnEvent:   func(ev sweep.Event) { job.Publish(sweep.JobEventFrom(ev)) },
+				OnEvent:   onEvent,
 			})
 			if err != nil {
 				job.Finish(nil, err)
@@ -633,6 +661,19 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := mergeDone(r.Context(), s.base)
 	defer cancel()
 	start := time.Now()
+	if strat != nil {
+		res, err := search.Run(ctx, s.eng, strat, search.Options{
+			Normalize: req.Normalize,
+			MaxRounds: req.Search.MaxRounds,
+			Metrics:   s.search,
+		})
+		if err != nil {
+			s.writeServerErr(w, r, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, s.searchResponseOf(res, time.Since(start).Seconds(), wantFlag(r, "specs")))
+		return
+	}
 	res, err := s.eng.Sweep(ctx, specs, sweep.Options{Normalize: req.Normalize})
 	if err != nil {
 		s.writeServerErr(w, r, err)

@@ -17,7 +17,7 @@ import (
 func (s *Server) handleRunEvents(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.jobs.Get(r.PathValue("id"))
 	if !ok {
-		writeClientErr(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		writeErr(w, http.StatusNotFound, CodeJobNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
 		return
 	}
 	flusher, ok := w.(http.Flusher)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync/atomic"
 
 	"dramtherm/internal/core"
@@ -162,6 +163,11 @@ func (e *Engine) Validate(spec Spec) error {
 		(lim.AMBTDP == 0 || lim.DRAMTDP == 0 || lim.AMBTRP == 0 || lim.DRAMTRP == 0) {
 		return fmt.Errorf("sweep: partial limits override %+v: all four of AMBTDP, DRAMTDP, AMBTRP, DRAMTRP must be set", lim)
 	}
+	// normalize has already mapped 0 to 1, so anything non-positive (or
+	// non-finite) here was an explicit bad value.
+	if !(spec.InstrScale > 0) || math.IsInf(spec.InstrScale, 1) {
+		return fmt.Errorf("sweep: instr_scale %g out of range: must be a finite positive fidelity multiplier", spec.InstrScale)
+	}
 	return nil
 }
 
@@ -194,13 +200,14 @@ func (e *Engine) Resolve(spec Spec) (core.RunSpec, error) {
 		return core.RunSpec{}, err
 	}
 	return core.RunSpec{
-		Mix:      mix,
-		Policy:   p,
-		Cooling:  cool,
-		Model:    model,
-		PsiXi:    spec.PsiXi,
-		Interval: spec.Interval,
-		Limits:   spec.Limits,
+		Mix:        mix,
+		Policy:     p,
+		Cooling:    cool,
+		Model:      model,
+		PsiXi:      spec.PsiXi,
+		Interval:   spec.Interval,
+		Limits:     spec.Limits,
+		InstrScale: spec.InstrScale,
 	}, nil
 }
 
@@ -292,14 +299,17 @@ func (e *Engine) Normalized(ctx context.Context, spec Spec) (float64, error) {
 	return res.Seconds / base.Seconds, nil
 }
 
-// BaselineSpec returns the No-limit normalization partner of spec.
+// BaselineSpec returns the No-limit normalization partner of spec. The
+// baseline shares the spec's fidelity rung, so a low-fidelity search
+// round normalizes against an equally cheap baseline.
 func (e *Engine) BaselineSpec(spec Spec) Spec {
 	return Spec{
-		Mix:     spec.Mix,
-		Policy:  "No-limit",
-		Cooling: spec.Cooling,
-		Model:   spec.Model,
-		PsiXi:   spec.PsiXi,
+		Mix:        spec.Mix,
+		Policy:     "No-limit",
+		Cooling:    spec.Cooling,
+		Model:      spec.Model,
+		PsiXi:      spec.PsiXi,
+		InstrScale: spec.InstrScale,
 	}
 }
 

@@ -18,6 +18,11 @@ const (
 	JobRun JobKind = "run"
 	// JobSweep is one asynchronous multi-spec sweep.
 	JobSweep JobKind = "sweep"
+	// JobSearch is one asynchronous adaptive search: rounds of sweeps
+	// planned by a strategy (internal/sweep/search). Its Total is the
+	// candidate count; Done counts spec executions across all rounds,
+	// so it can exceed Total when survivors re-run at higher rungs.
+	JobSearch JobKind = "search"
 )
 
 // JobStatus is the lifecycle state of a job.
@@ -50,6 +55,12 @@ type JobEvent struct {
 	Peer    string  `json:"peer,omitempty"`    // executing cluster member, if any
 	Seconds float64 `json:"seconds,omitempty"`
 	Error   string  `json:"error,omitempty"`
+
+	// Adaptive-search round boundaries (round_started/round_finished).
+	Round     int     `json:"round,omitempty"`
+	Rung      float64 `json:"rung,omitempty"`
+	Survivors int     `json:"survivors,omitempty"`
+	Pruned    int     `json:"pruned,omitempty"`
 }
 
 // JobSnapshot is a point-in-time copy of a job's externally visible
@@ -358,6 +369,18 @@ func (j *Job) publishLocked(ev JobEvent) {
 
 // JobEventFrom converts an engine Event into a job log entry.
 func JobEventFrom(ev Event) JobEvent {
+	if ev.Kind == EventRoundStarted || ev.Kind == EventRoundFinished {
+		// Round boundaries carry no spec; their payload is the round
+		// shape itself.
+		return JobEvent{
+			Kind:      string(ev.Kind),
+			Total:     ev.Total,
+			Round:     ev.Round,
+			Rung:      ev.Rung,
+			Survivors: ev.Survivors,
+			Pruned:    ev.Pruned,
+		}
+	}
 	spec := ev.Spec
 	out := JobEvent{
 		Kind:    string(ev.Kind),

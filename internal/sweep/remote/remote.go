@@ -495,17 +495,28 @@ func (b *Backend) dispatch(ctx context.Context, p *peer, spec sweep.Spec) (sim.M
 	}
 }
 
-// errorBody extracts the {"error": ...} message of a 4xx reply, falling
-// back to the status line.
+// errorBody extracts the error message of a 4xx reply — the structured
+// {"error":{"code","message"}} envelope, the legacy {"error":"..."}
+// string of pre-0.8 peers during a rolling upgrade — falling back to
+// the status line.
 func errorBody(resp *http.Response) string {
-	var e struct {
+	var body []byte
+	body, _ = io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var env struct {
+		Error struct {
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if json.Unmarshal(body, &env) == nil && env.Error.Message != "" {
+		return env.Error.Message
+	}
+	var legacy struct {
 		Error string `json:"error"`
 	}
-	json.NewDecoder(resp.Body).Decode(&e) //nolint:errcheck // fall back to the status line
-	if e.Error == "" {
-		return resp.Status
+	if json.Unmarshal(body, &legacy) == nil && legacy.Error != "" {
+		return legacy.Error
 	}
-	return e.Error
+	return resp.Status
 }
 
 // parseOutcome maps the wire outcome back to the sweep enum; anything

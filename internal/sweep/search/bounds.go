@@ -1,0 +1,81 @@
+package search
+
+import "dramtherm/internal/sweep"
+
+// BoundPrune is bound-driven refinement in the inexact-cuts spirit: a
+// candidate's low-fidelity objective f brackets its true objective in
+// [f·(1−Slack), f·(1+Slack)]. After each cheap rung, the incumbent is
+// the candidate with the lowest pessimistic bound, and every candidate
+// whose optimistic bound exceeds it is pruned — it cannot win even if
+// the cheap measurement flattered it by the full slack. Survivors climb
+// the rung ladder; the final full-fidelity round is exact, so the
+// winner is measured, not estimated.
+//
+// Unlike Halving, the survivor count is data-driven: a design space
+// with one clear winner collapses after one cheap round, while a tight
+// race keeps every contender alive all the way to full fidelity —
+// bounds never discard a candidate that could still win under the
+// stated slack.
+type BoundPrune struct {
+	// Candidates is the design space; InstrScale fields are overwritten
+	// by the rung ladder.
+	Candidates []sweep.Spec
+	// Rungs is the ascending fidelity ladder (default DefaultRungs);
+	// the final entry must be 1.
+	Rungs []float64
+	// Slack is the relative uncertainty assumed of sub-full-fidelity
+	// objectives (default 0.1): smaller prunes harder, larger is safer
+	// against fidelity bias.
+	Slack float64
+}
+
+// Name implements Strategy.
+func (b *BoundPrune) Name() string { return "bounds" }
+
+// Next implements Strategy.
+func (b *BoundPrune) Next(completed []Round) ([]sweep.Spec, bool) {
+	rungs := b.rungs()
+	r := len(completed)
+	// A completed full-fidelity round ends the search — whether it was
+	// the ladder's last rung or the early jump below.
+	if len(b.Candidates) == 0 || r >= len(rungs) || (r > 0 && completed[r-1].Scale == 1) {
+		return nil, true
+	}
+	if r == 0 {
+		return atScale(b.Candidates, rungs[0]), false
+	}
+	last := completed[r-1]
+	slack := b.slack()
+	// Incumbent: lowest pessimistic bound (earliest index on ties).
+	incumbent := last.Objectives[0] * (1 + slack)
+	for _, f := range last.Objectives[1:] {
+		if p := f * (1 + slack); p < incumbent {
+			incumbent = p
+		}
+	}
+	var survivors []sweep.Spec
+	for i, s := range last.Specs {
+		if last.Objectives[i]*(1-slack) <= incumbent {
+			survivors = append(survivors, s)
+		}
+	}
+	if len(survivors) == 1 && rungs[r] != 1 {
+		// Decided early: confirm the sole survivor at full fidelity.
+		return atScale(survivors, 1), false
+	}
+	return atScale(survivors, rungs[r]), false
+}
+
+func (b *BoundPrune) rungs() []float64 {
+	if len(b.Rungs) == 0 {
+		return DefaultRungs
+	}
+	return b.Rungs
+}
+
+func (b *BoundPrune) slack() float64 {
+	if b.Slack <= 0 {
+		return 0.1
+	}
+	return b.Slack
+}

@@ -1,0 +1,113 @@
+package search
+
+import (
+	"math"
+
+	"dramtherm/internal/sweep"
+)
+
+// Halving is successive halving over a fidelity ladder: round r runs
+// the surviving candidates at Rungs[r]; the best ceil(n/Eta) by
+// objective advance. The last rung must be 1 (full fidelity), so the
+// final round measures the true objective of everything still standing.
+// Candidate order is the tie-break: equal objectives advance the
+// earlier candidate, which keeps the whole search deterministic.
+type Halving struct {
+	// Candidates is the design space, typically Grid.Expand(). Their
+	// InstrScale fields are overwritten by the rung ladder.
+	Candidates []sweep.Spec
+	// Rungs is the ascending fidelity ladder (default DefaultRungs).
+	// The final entry must be 1.
+	Rungs []float64
+	// Eta is the keep fraction denominator: each round keeps
+	// ceil(n/Eta) candidates (default 2; values < 2 are raised to 2).
+	Eta float64
+}
+
+// DefaultRungs is the two-cheap-rungs-then-exact ladder strategies use
+// when the caller does not pick one.
+var DefaultRungs = []float64{0.25, 0.5, 1}
+
+// Name implements Strategy.
+func (h *Halving) Name() string { return "halving" }
+
+// Next implements Strategy: plan round len(completed).
+func (h *Halving) Next(completed []Round) ([]sweep.Spec, bool) {
+	rungs := h.rungs()
+	r := len(completed)
+	// A completed full-fidelity round ends the search — whether it was
+	// the ladder's last rung or the early jump below.
+	if len(h.Candidates) == 0 || r >= len(rungs) || (r > 0 && completed[r-1].Scale == 1) {
+		return nil, true
+	}
+	var survivors []sweep.Spec
+	if r == 0 {
+		survivors = h.Candidates
+	} else {
+		last := completed[r-1]
+		keep := ceilDiv(len(last.Specs), h.eta())
+		survivors = topK(last.Specs, last.Objectives, keep)
+		if len(survivors) == 1 && rungs[r] != 1 {
+			// One candidate left: skip straight to the full-fidelity
+			// confirmation round instead of re-measuring it per rung.
+			return atScale(survivors, 1), false
+		}
+	}
+	return atScale(survivors, rungs[r]), false
+}
+
+func (h *Halving) rungs() []float64 {
+	if len(h.Rungs) == 0 {
+		return DefaultRungs
+	}
+	return h.Rungs
+}
+
+func (h *Halving) eta() float64 {
+	if h.Eta < 2 {
+		return 2
+	}
+	return h.Eta
+}
+
+// ceilDiv returns ceil(n/eta), never below 1.
+func ceilDiv(n int, eta float64) int {
+	k := int(math.Ceil(float64(n) / eta))
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// topK selects the k lowest-objective specs, preserving their relative
+// order (stable selection, earlier index wins ties).
+func topK(specs []sweep.Spec, objectives []float64, k int) []sweep.Spec {
+	if k >= len(specs) {
+		return specs
+	}
+	// Selection by rank: an index is kept when fewer than k others beat
+	// it, where "beats" is (lower objective) or (equal and earlier).
+	out := make([]sweep.Spec, 0, k)
+	for i := range specs {
+		rank := 0
+		for j := range specs {
+			if objectives[j] < objectives[i] || (objectives[j] == objectives[i] && j < i) {
+				rank++
+			}
+		}
+		if rank < k {
+			out = append(out, specs[i])
+		}
+	}
+	return out
+}
+
+// atScale copies the specs with their fidelity rung set.
+func atScale(specs []sweep.Spec, scale float64) []sweep.Spec {
+	out := make([]sweep.Spec, len(specs))
+	for i, s := range specs {
+		s.InstrScale = scale
+		out[i] = s
+	}
+	return out
+}

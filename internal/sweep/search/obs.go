@@ -1,0 +1,51 @@
+package search
+
+import (
+	"fmt"
+	"time"
+
+	"dramtherm/internal/obs"
+)
+
+// Metrics are the adaptive-search instruments. A nil *Metrics is a
+// no-op, so uninstrumented searches pay one nil check per round.
+type Metrics struct {
+	rounds   *obs.Counter
+	pruned   *obs.Counter
+	fullFid  *obs.Counter
+	roundDur *obs.HistogramVec // by rung
+}
+
+// Instrument registers the search metric families on reg and returns
+// the handle Options.Metrics takes. The counter families register at
+// zero, so a scrape sees them before the first search runs (metriclint
+// can require them on a freshly booted daemon). A nil reg returns nil.
+func Instrument(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		rounds: reg.Counter("dramtherm_search_rounds_total",
+			"Adaptive-search rounds executed (one multi-spec sweep each)."),
+		pruned: reg.Counter("dramtherm_search_specs_pruned_total",
+			"Candidates discarded by a search strategy before full fidelity."),
+		fullFid: reg.Counter("dramtherm_search_full_fidelity_runs_total",
+			"Search specs executed at full fidelity (InstrScale 1) — compare against the exhaustive grid size."),
+		roundDur: reg.HistogramVec("dramtherm_search_round_seconds",
+			"Wall-clock seconds per search round, by fidelity rung.",
+			obs.DefBuckets, "rung"),
+	}
+}
+
+// roundDone records one completed round of n specs.
+func (m *Metrics) roundDone(rung float64, dur time.Duration, n, pruned int) {
+	if m == nil {
+		return
+	}
+	m.rounds.Inc()
+	m.pruned.Add(float64(pruned))
+	if rung == 1 {
+		m.fullFid.Add(float64(n))
+	}
+	m.roundDur.WithLabelValues(fmt.Sprintf("%g", rung)).Observe(dur.Seconds())
+}

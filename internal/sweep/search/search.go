@@ -1,0 +1,236 @@
+// Package search plans multi-round adaptive sweeps over the design
+// space the exhaustive Grid would enumerate, trading cheap low-fidelity
+// simulations for pruning before any full-cost run.
+//
+// The paper's DTM evaluation is a cartesian grid (mix × policy ×
+// cooling × ψ·ξ × interval): doubling any dimension squares the work.
+// A Strategy breaks that coupling. It plans rounds — each round is a
+// plain spec list executed through Engine.Sweep, so rounds ride the
+// batch backend, the replicated run cache, job event streaming and the
+// obs metrics with no new cluster machinery — and decides from the
+// completed rounds which candidates deserve the next, more expensive,
+// fidelity rung. Fidelity is the Spec.InstrScale field: a fractional
+// rung shrinks application lengths (and therefore cost) while keeping
+// the simulated physics identical in kind, in the spirit of the
+// inexact-cuts bound literature (Guigues, arXiv:1801.04243): cheap
+// approximate evaluations produce bounds that prune before exact ones.
+//
+// Two strategies ship:
+//
+//   - Halving: successive halving. Run every candidate at the cheapest
+//     rung, keep the best 1/eta by objective, re-run at the next rung,
+//     repeat until one full-fidelity round remains.
+//   - BoundPrune: bound-driven refinement. A low-fidelity objective f
+//     brackets the true objective in [f·(1−slack), f·(1+slack)]; any
+//     candidate whose optimistic bound is worse than the incumbent's
+//     pessimistic bound can never win and is pruned.
+//
+// Both are deterministic: candidate order is the tie-break, so two runs
+// over the same engine produce byte-identical Result tables — the
+// regression oracle the report tables already are for grids.
+package search
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"dramtherm/internal/report"
+	"dramtherm/internal/sweep"
+)
+
+// Strategy plans an adaptive search: Next inspects every completed
+// round and returns the specs of the next one (their InstrScale fields
+// carry the fidelity rung), or done=true when the search is over. Next
+// must be deterministic — same completed rounds, same plan — and must
+// end on a full-fidelity round (InstrScale 1), whose best candidate
+// becomes the search result. Next is never called concurrently.
+type Strategy interface {
+	// Name identifies the strategy in results, metrics and wire forms.
+	Name() string
+	// Next plans the round after the given completed ones.
+	Next(completed []Round) (specs []sweep.Spec, done bool)
+}
+
+// Round is one completed search round: the specs the strategy planned,
+// positionally aligned objectives (normalized runtime when the search
+// normalizes, raw simulated seconds otherwise — lower is better), and
+// the pruning the strategy applied after seeing them.
+type Round struct {
+	// Index is the zero-based round number.
+	Index int
+	// Scale is the round's fidelity rung (the specs' InstrScale).
+	Scale float64
+	// Specs are the candidates executed this round.
+	Specs []sweep.Spec
+	// Objectives are the per-spec objective values, aligned with Specs.
+	Objectives []float64
+	// Survivors counts candidates the strategy advanced to the next
+	// round (0 on the final round).
+	Survivors int
+	// Pruned counts candidates discarded after this round.
+	Pruned int
+}
+
+// Options tunes Run.
+type Options struct {
+	// Normalize makes the objective the normalized runtime
+	// runtime(spec)/runtime(No-limit baseline) — the unit of the paper's
+	// figures. Baselines share each round's fidelity rung, so they stay
+	// cheap. When false the objective is raw simulated seconds.
+	Normalize bool
+	// OnEvent observes the search: round_started/round_finished
+	// boundaries plus every per-spec event of the underlying sweeps.
+	// The sweep.Options.OnEvent contract applies.
+	OnEvent func(sweep.Event)
+	// MaxRounds aborts a strategy that never finishes (default 32).
+	MaxRounds int
+	// Metrics, when non-nil, records rounds, pruned candidates and
+	// per-rung latency (see Instrument).
+	Metrics *Metrics
+}
+
+// Result is one completed adaptive search.
+type Result struct {
+	// Strategy is the planning strategy's name.
+	Strategy string
+	// Rounds are the completed rounds in execution order; the last one
+	// ran at full fidelity.
+	Rounds []Round
+	// Best is the winning candidate, normalized, at full fidelity.
+	Best sweep.Spec
+	// BestObjective is Best's objective in the final round.
+	BestObjective float64
+	// TotalRuns counts specs executed across all rounds (baselines not
+	// included).
+	TotalRuns int
+	// FullFidelityRuns counts specs executed at InstrScale 1 — the
+	// number to hold against the exhaustive grid's candidate count.
+	FullFidelityRuns int
+}
+
+// Run executes the strategy against the engine: each planned round goes
+// through eng.Sweep (one batch-backend call per round in cluster mode,
+// every run deduplicated and cached per rung), the objectives feed back
+// into the strategy, and the final full-fidelity round's best candidate
+// wins. The error of any round's sweep aborts the search.
+func Run(ctx context.Context, eng *sweep.Engine, strat Strategy, opts Options) (*Result, error) {
+	if strat == nil {
+		return nil, errors.New("search: nil strategy")
+	}
+	maxRounds := opts.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 32
+	}
+	res := &Result{Strategy: strat.Name()}
+	specs, done := strat.Next(nil)
+	for !done {
+		round := len(res.Rounds)
+		if round >= maxRounds {
+			return nil, fmt.Errorf("search: strategy %s still planning after %d rounds", strat.Name(), maxRounds)
+		}
+		if len(specs) == 0 {
+			return nil, fmt.Errorf("search: strategy %s planned an empty round %d", strat.Name(), round)
+		}
+		scale := rungOf(specs[0])
+		if opts.OnEvent != nil {
+			opts.OnEvent(sweep.Event{Kind: sweep.EventRoundStarted,
+				Round: round, Rung: scale, Survivors: len(specs), Total: len(specs)})
+		}
+		start := time.Now()
+		sres, err := eng.Sweep(ctx, specs, sweep.Options{
+			Normalize: opts.Normalize,
+			OnEvent:   opts.OnEvent,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("search: round %d (rung %g): %w", round, scale, err)
+		}
+		objectives := make([]float64, len(specs))
+		for i := range specs {
+			if opts.Normalize {
+				objectives[i] = sres.Norms[i]
+			} else {
+				objectives[i] = sres.Results[i].Seconds
+			}
+		}
+		res.Rounds = append(res.Rounds, Round{
+			Index: round, Scale: scale, Specs: specs, Objectives: objectives,
+		})
+		res.TotalRuns += len(specs)
+		if scale == 1 {
+			res.FullFidelityRuns += len(specs)
+		}
+
+		var next []sweep.Spec
+		next, done = strat.Next(res.Rounds)
+		cur := &res.Rounds[len(res.Rounds)-1]
+		if !done {
+			cur.Survivors = len(next)
+			cur.Pruned = len(specs) - len(next)
+			if cur.Pruned < 0 {
+				cur.Pruned = 0
+			}
+		}
+		opts.Metrics.roundDone(scale, time.Since(start), len(specs), cur.Pruned)
+		if opts.OnEvent != nil {
+			opts.OnEvent(sweep.Event{Kind: sweep.EventRoundFinished,
+				Round: round, Rung: scale, Survivors: cur.Survivors, Pruned: cur.Pruned, Total: len(specs)})
+		}
+		specs = next
+	}
+	if len(res.Rounds) == 0 {
+		return nil, fmt.Errorf("search: strategy %s planned no rounds", strat.Name())
+	}
+	final := res.Rounds[len(res.Rounds)-1]
+	if final.Scale != 1 {
+		return nil, fmt.Errorf("search: strategy %s ended on rung %g, not full fidelity", strat.Name(), final.Scale)
+	}
+	best := bestOf(final.Specs, final.Objectives)
+	res.Best = final.Specs[best]
+	res.BestObjective = final.Objectives[best]
+	return res, nil
+}
+
+// rungOf reads a spec's fidelity rung, mapping the zero value onto full
+// fidelity exactly like spec normalization does.
+func rungOf(s sweep.Spec) float64 {
+	if s.InstrScale == 0 {
+		return 1
+	}
+	return s.InstrScale
+}
+
+// bestOf returns the index of the lowest objective; ties break toward
+// the earliest index, which both strategies keep in candidate order —
+// the determinism contract.
+func bestOf(specs []sweep.Spec, objectives []float64) int {
+	best := 0
+	for i := 1; i < len(specs); i++ {
+		if objectives[i] < objectives[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Table renders the search deterministically: one row per round (rung,
+// candidate count, pruned, round best and its objective) plus a final
+// row naming the winner. Byte-identical tables across runs with the
+// same seed are the regression oracle searches are held to.
+func (r *Result) Table(caption string) *report.Table {
+	t := report.NewTable(caption, "round", "rung", "candidates", "pruned", "best", "objective")
+	for _, rd := range r.Rounds {
+		best := bestOf(rd.Specs, rd.Objectives)
+		t.AddRow(
+			fmt.Sprintf("%d", rd.Index),
+			fmt.Sprintf("%g", rd.Scale),
+			fmt.Sprintf("%d", len(rd.Specs)),
+			fmt.Sprintf("%d", rd.Pruned),
+			rd.Specs[best].String(),
+			report.FormatFloat(rd.Objectives[best]),
+		)
+	}
+	t.AddRow("winner", "1", "", "", r.Best.String(), report.FormatFloat(r.BestObjective))
+	return t
+}

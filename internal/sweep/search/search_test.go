@@ -1,0 +1,196 @@
+package search
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"dramtherm/internal/core"
+	"dramtherm/internal/sim"
+	"dramtherm/internal/sweep"
+)
+
+// synthEngine backs the sweep engine with a synthetic objective: every
+// (mix, policy) pair gets a stable pseudo-random runtime derived from
+// seed, independent of the fidelity rung — a perfectly monotone
+// landscape where cheap rungs rank exactly like full fidelity. The
+// returned counter tracks full-fidelity executions.
+func synthEngine(t *testing.T, seed int64) (*sweep.Engine, *atomic.Int64) {
+	t.Helper()
+	eng := sweep.NewEngine(core.NewSystem(core.DefaultConfig()), 4)
+	fullFid := new(atomic.Int64)
+	eng.SetRunFunc(func(ctx context.Context, rs core.RunSpec) (sim.MEMSpotResult, error) {
+		if rs.InstrScale == 0 || rs.InstrScale == 1 {
+			fullFid.Add(1)
+		}
+		return sim.MEMSpotResult{Seconds: synthSeconds(seed, rs), Completed: 4}, nil
+	})
+	t.Cleanup(func() { eng.Close() })
+	return eng, fullFid
+}
+
+func synthSeconds(seed int64, rs core.RunSpec) float64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%s", seed, rs.Mix.Name, rs.Policy.Name())
+	return 100 + float64(h.Sum64()%1000)
+}
+
+// randomCandidates draws 2..n distinct (mix, policy) candidates.
+func randomCandidates(rng *rand.Rand, n int) []sweep.Spec {
+	mixes := []string{"W1", "W2", "W3", "W4", "W5", "W6", "W7", "W8"}
+	policies := []string{"DTM-TS", "DTM-BW", "DTM-ACG", "DTM-CDVFS", "DTM-COMB"}
+	all := sweep.Grid{Mixes: mixes, Policies: policies}.Expand()
+	rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	k := 2 + rng.Intn(n-1)
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k]
+}
+
+// trueBest returns the candidate the synthetic landscape actually
+// favors, by exhaustive objective evaluation.
+func trueBest(t *testing.T, eng *sweep.Engine, seed int64, candidates []sweep.Spec) sweep.Spec {
+	t.Helper()
+	best, bestObj := 0, 0.0
+	for i, sp := range candidates {
+		rs, err := eng.Resolve(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		obj := synthSeconds(seed, rs)
+		if i == 0 || obj < bestObj {
+			best, bestObj = i, obj
+		}
+	}
+	return candidates[best]
+}
+
+// TestHalvingCheaperThanGrid: for every candidate set larger than one,
+// successive halving reaches full fidelity with strictly fewer
+// simulations than the exhaustive grid would need.
+func TestHalvingCheaperThanGrid(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		candidates := randomCandidates(rng, 24)
+		eng, fullFid := synthEngine(t, seed)
+		res, err := Run(context.Background(), eng, &Halving{Candidates: candidates}, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.FullFidelityRuns >= len(candidates) {
+			t.Errorf("seed %d: %d full-fidelity runs for %d candidates, want strictly fewer",
+				seed, res.FullFidelityRuns, len(candidates))
+		}
+		if got := int(fullFid.Load()); got != res.FullFidelityRuns {
+			t.Errorf("seed %d: engine executed %d full-fidelity sims, result reports %d",
+				seed, got, res.FullFidelityRuns)
+		}
+	}
+}
+
+// TestSearchKeepsOptimum: on a monotone landscape (cheap rungs rank
+// like full fidelity) neither strategy ever prunes the true optimum.
+func TestSearchKeepsOptimum(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		candidates := randomCandidates(rng, 24)
+		for _, strat := range []Strategy{
+			&Halving{Candidates: candidates},
+			&BoundPrune{Candidates: candidates},
+		} {
+			eng, _ := synthEngine(t, seed)
+			want := trueBest(t, eng, seed, candidates)
+			res, err := Run(context.Background(), eng, strat, Options{})
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, strat.Name(), err)
+			}
+			if res.Best.String() != want.String() {
+				t.Errorf("seed %d %s: best %s, exhaustive optimum %s",
+					seed, strat.Name(), res.Best, want)
+			}
+		}
+	}
+}
+
+// TestSearchDeterministic: the same seed (same candidates, same
+// landscape) renders byte-identical result tables on fresh engines,
+// concurrency notwithstanding.
+func TestSearchDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		candidates := randomCandidates(rng, 24)
+		run := func() string {
+			eng, _ := synthEngine(t, seed)
+			res, err := Run(context.Background(), eng, &Halving{Candidates: candidates}, Options{})
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			return res.Table("t").String()
+		}
+		if a, b := run(), run(); a != b {
+			t.Errorf("seed %d: nondeterministic tables:\n%s\nvs\n%s", seed, a, b)
+		}
+	}
+}
+
+// TestSearchEvents: round boundaries are observable — one started and
+// one finished event per round, with monotone round indices and the
+// final round at full fidelity.
+func TestSearchEvents(t *testing.T) {
+	eng, _ := synthEngine(t, 1)
+	candidates := randomCandidates(rand.New(rand.NewSource(1)), 16)
+	var starts, finishes []sweep.Event
+	res, err := Run(context.Background(), eng, &BoundPrune{Candidates: candidates}, Options{
+		OnEvent: func(ev sweep.Event) {
+			switch ev.Kind {
+			case sweep.EventRoundStarted:
+				starts = append(starts, ev)
+			case sweep.EventRoundFinished:
+				finishes = append(finishes, ev)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(starts) != len(res.Rounds) || len(finishes) != len(res.Rounds) {
+		t.Fatalf("events = %d started / %d finished, want %d each",
+			len(starts), len(finishes), len(res.Rounds))
+	}
+	for i := range finishes {
+		if starts[i].Round != i || finishes[i].Round != i {
+			t.Errorf("event %d carries rounds %d/%d", i, starts[i].Round, finishes[i].Round)
+		}
+		if starts[i].Rung != res.Rounds[i].Scale {
+			t.Errorf("round %d started with rung %g, executed %g", i, starts[i].Rung, res.Rounds[i].Scale)
+		}
+	}
+	if last := res.Rounds[len(res.Rounds)-1]; last.Scale != 1 {
+		t.Errorf("final round at rung %g, want full fidelity", last.Scale)
+	}
+}
+
+// TestSearchCancellation: a dead context aborts the search with the
+// context's error rather than hanging or returning a partial result.
+func TestSearchCancellation(t *testing.T) {
+	eng, _ := synthEngine(t, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	candidates := randomCandidates(rand.New(rand.NewSource(2)), 8)
+	if _, err := Run(ctx, eng, &Halving{Candidates: candidates}, Options{}); err == nil {
+		t.Fatal("cancelled search returned nil error")
+	}
+}
+
+// TestSearchNoCandidates: an empty strategy is an error, not a panic or
+// an empty success.
+func TestSearchNoCandidates(t *testing.T) {
+	eng, _ := synthEngine(t, 1)
+	if _, err := Run(context.Background(), eng, &Halving{}, Options{}); err == nil {
+		t.Fatal("empty search returned nil error")
+	}
+}

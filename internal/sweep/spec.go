@@ -31,6 +31,12 @@ type Spec struct {
 	// override reaches both the simulation and the policy construction
 	// (TRP/TDP sweeps).
 	Limits fbconfig.ThermalLimits `json:"limits,omitempty"`
+	// InstrScale is the run's fidelity: a multiplier on the system's
+	// base application-length scale. Zero and 1 both mean full fidelity
+	// (and share a cache key); adaptive search strategies use fractional
+	// rungs (e.g. 0.25) as cheap approximations, each a distinct cache
+	// entry.
+	InstrScale float64 `json:"instr_scale,omitempty"`
 }
 
 // normalize fills defaulted fields so that equivalent specs share a key.
@@ -43,6 +49,9 @@ func (s Spec) normalize() Spec {
 	}
 	if s.Model == "" {
 		s.Model = core.Isolated.String()
+	}
+	if s.InstrScale == 0 {
+		s.InstrScale = 1
 	}
 	// The JSON codec cannot tell -0 from +0 (omitempty drops both), so
 	// the canonical key must not either — otherwise a spec would change
@@ -71,10 +80,17 @@ type Key string
 // Key canonicalizes the spec under the given system-config digest.
 func (s Spec) Key(configDigest string) Key {
 	n := s.normalize()
-	return Key(fmt.Sprintf("%s|%s|%s|%s|%s|psixi=%g|iv=%g|lim=%g,%g,%g,%g",
+	k := fmt.Sprintf("%s|%s|%s|%s|%s|psixi=%g|iv=%g|lim=%g,%g,%g,%g",
 		configDigest, n.Mix, n.Policy, n.Cooling, n.Model,
 		n.PsiXi, n.Interval,
-		n.Limits.AMBTDP, n.Limits.DRAMTDP, n.Limits.AMBTRP, n.Limits.DRAMTRP))
+		n.Limits.AMBTDP, n.Limits.DRAMTDP, n.Limits.AMBTRP, n.Limits.DRAMTRP)
+	// Full fidelity keeps the pre-InstrScale key format, so existing
+	// segment logs and replicated caches stay valid; only fractional
+	// rungs grow the suffix that makes them distinct entries.
+	if n.InstrScale != 1 {
+		k += fmt.Sprintf("|is=%g", n.InstrScale)
+	}
+	return Key(k)
 }
 
 // String renders the spec compactly for progress lines and logs.
@@ -89,6 +105,9 @@ func (s Spec) String() string {
 	}
 	if n.Limits.AMBTDP != 0 {
 		out += fmt.Sprintf("/lim=%g,%g", n.Limits.AMBTDP, n.Limits.DRAMTDP)
+	}
+	if n.InstrScale != 1 {
+		out += fmt.Sprintf("/is=%g", n.InstrScale)
 	}
 	return out
 }

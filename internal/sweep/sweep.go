@@ -30,6 +30,14 @@ const (
 	EventFinished EventKind = "spec_finished"
 	// EventError fires when a spec's run fails or is cancelled.
 	EventError EventKind = "spec_error"
+	// EventRoundStarted marks an adaptive-search round boundary: the
+	// strategy has planned the round's specs and the engine is about to
+	// sweep them (internal/sweep/search).
+	EventRoundStarted EventKind = "round_started"
+	// EventRoundFinished fires when a search round's sweep completes
+	// and the strategy has planned the next round, carrying how many
+	// candidates survived and how many were pruned.
+	EventRoundFinished EventKind = "round_finished"
 )
 
 // Event is one per-spec lifecycle notification from RunObserved or
@@ -53,6 +61,15 @@ type Event struct {
 	Peer    string
 	Seconds float64 // simulated runtime, on EventFinished
 	Err     error   // non-nil on EventError
+
+	// Round-boundary payload (EventRoundStarted/EventRoundFinished only).
+	// Round is the zero-based round index, Rung the round's fidelity
+	// multiplier; Survivors counts candidates advancing past the round
+	// and Pruned the candidates the strategy discarded after it.
+	Round     int
+	Rung      float64
+	Survivors int
+	Pruned    int
 }
 
 // Options tunes Sweep execution.
