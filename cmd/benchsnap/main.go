@@ -240,6 +240,7 @@ func main() {
 		pr         = flag.Int("pr", 0, "PR number recorded in the snapshot")
 		count      = flag.Int("count", 5, "runs per benchmark (median is pinned)")
 		baseline   = flag.String("baseline", "", "embed this earlier capture as the snapshot's baseline")
+		note       = flag.String("note", "", "appended to the snapshot description (what this PR changed)")
 		doCheck    = flag.Bool("check", false, "gate against the newest checked-in BENCH_*.json")
 		dir        = flag.String("dir", ".", "directory holding BENCH_*.json snapshots (-check)")
 		maxRegress = flag.Float64("max-regress", 0.10, "allowed median regression fraction (-check)")
@@ -264,14 +265,14 @@ func main() {
 		checkErr := check(snap, results, calib, *maxRegress)
 		if *out != "" {
 			// Candidate snapshot for artifact upload, even on failure.
-			fail(writeSnapshot(*out, candidate(*pr, *count, calib, results)))
+			fail(writeSnapshot(*out, candidate(*pr, *count, *note, calib, results)))
 		}
 		fail(checkErr)
 		fmt.Fprintln(os.Stderr, "benchsnap: all pinned benchmarks within budget")
 		return
 	}
 
-	snap := candidate(*pr, *count, calib, results)
+	snap := candidate(*pr, *count, *note, calib, results)
 	if *baseline != "" {
 		base, err := loadSnapshot(*baseline)
 		fail(err)
@@ -296,11 +297,15 @@ func main() {
 	fmt.Fprintf(os.Stderr, "benchsnap: wrote %s\n", *out)
 }
 
-func candidate(pr, count int, calib float64, results map[string]Measurement) *Snapshot {
+func candidate(pr, count int, note string, calib float64, results map[string]Measurement) *Snapshot {
+	desc := description
+	if note != "" {
+		desc += " " + note
+	}
 	return &Snapshot{
 		Schema:        1,
 		PR:            pr,
-		Description:   description,
+		Description:   desc,
 		GOOS:          runtime.GOOS,
 		GOARCH:        runtime.GOARCH,
 		GOMAXPROCS:    runtime.GOMAXPROCS(0),

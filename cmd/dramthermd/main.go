@@ -97,7 +97,7 @@ import (
 )
 
 // version is reported by GET /v1/healthz.
-const version = "0.8.0"
+const version = "0.9.0"
 
 // parsePeers expands the -peers flag: either a comma-separated list of
 // entries or @path naming a file with one entry per line (blank lines
@@ -173,6 +173,7 @@ func main() {
 		state    = flag.String("state", "", "legacy gob state file: migrated once into <path>.d segment logs (alias for -segment-dir <path>.d)")
 		segDir   = flag.String("segment-dir", "", "durable state: append-only segment-log directory; results persist as they complete and replay on boot")
 		compact  = flag.Duration("compact-interval", 10*time.Minute, "segment-log compaction period (0 disables background compaction)")
+		prefixOn = flag.Bool("prefix-share", false, "prefix-state checkpointing: specs differing only in DTM policy share their warm-up prefix — one leader run records decisions and checkpoints, later policies resume from the checkpoint before their first divergent decision (results stay bit-identical to cold replay)")
 		replicat = flag.Bool("replication", false, "with -peers: replicate each completed result to its key's ring successor (RF=2) and hand cached shards to new owners on membership changes")
 		jobTTL   = flag.Duration("job-ttl", 15*time.Minute, "evict finished jobs this long after completion (0 disables eviction)")
 		maxJobs  = flag.Int("max-jobs", sweep.DefaultMaxJobs, "job registry bound; submissions beyond it are rejected while all jobs run")
@@ -251,6 +252,12 @@ func main() {
 		poolWidth = len(peerList)**perPeer + runtime.GOMAXPROCS(0)
 	}
 	eng := sweep.NewEngine(core.NewSystem(cfg), poolWidth)
+	if *prefixOn {
+		// Before Instrument (registers the prefix metric families) and
+		// before EnableSegmentLog (replays persisted checkpoint records
+		// into the sharer).
+		eng.EnablePrefixSharing()
+	}
 	eng.Instrument(reg)
 
 	// -state is a migrating alias for -segment-dir: the legacy gob blob

@@ -120,6 +120,7 @@ type engineOptions struct {
 	stateDir     string
 	legacyState  string
 	compactEvery time.Duration
+	prefixShare  bool
 }
 
 // EngineOption configures NewEngine.
@@ -154,6 +155,19 @@ func WithCompactInterval(d time.Duration) EngineOption {
 	return func(o *engineOptions) { o.compactEvery = d }
 }
 
+// WithPrefixSharing turns on prefix-state checkpointing: specs that
+// differ only in DTM policy form a group whose shared warm-up prefix
+// simulates once — the group's first run records its policy decisions
+// and checkpoints the simulator at strided decision boundaries, and
+// later policies resume from the checkpoint before their first
+// divergent decision instead of replaying from t=0. Results are
+// bit-identical to cold replay (the divergence differential suite in
+// internal/simtest is the proof). With WithStateDir, checkpoint records
+// persist in the segment log and survive restarts.
+func WithPrefixSharing() EngineOption {
+	return func(o *engineOptions) { o.prefixShare = true }
+}
+
 // NewEngine builds a concurrent sweep engine over a System configured
 // by cfg. With no options the engine is purely in-memory; state options
 // make its cache durable across restarts. Callers that enabled state
@@ -164,6 +178,11 @@ func NewEngine(cfg Config, opts ...EngineOption) (*Engine, error) {
 		opt(&o)
 	}
 	eng := sweep.NewEngine(core.NewSystem(cfg), o.workers)
+	if o.prefixShare {
+		// Before EnableSegmentLog, so replayed checkpoint records import
+		// and completed groups gain the persistence hook.
+		eng.EnablePrefixSharing()
+	}
 	dir := o.stateDir
 	if dir == "" && o.legacyState != "" {
 		dir = o.legacyState + ".d"

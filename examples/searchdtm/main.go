@@ -62,14 +62,26 @@ func main() {
 	}.Expand()
 
 	// Exhaustive baseline: sweep every candidate at full fidelity.
-	gridBest, gridObj := exhaustive(cfg, *workers, candidates)
+	gridBest, gridObj, err := exhaustive(cfg, *workers, candidates)
+	if err != nil {
+		log.Fatalf("exhaustive sweep: %v", err)
+	}
 	fmt.Printf("exhaustive grid: %d full-fidelity simulations, best %s (%.3f)\n\n",
 		len(candidates), gridBest, gridObj)
 
 	// The same space, searched adaptively — twice, on cold engines, to
-	// prove the rounds and tables are deterministic.
-	res := search(cfg, *workers, *strategy, candidates)
-	again := search(cfg, *workers, *strategy, candidates)
+	// prove the rounds and tables are deterministic. Both runs must
+	// succeed before their tables are compared: diffing against a
+	// half-finished second search would report nondeterminism where the
+	// real story is a failed run.
+	res, err := search(cfg, *workers, *strategy, candidates)
+	if err != nil {
+		log.Fatalf("adaptive search: %v", err)
+	}
+	again, err := search(cfg, *workers, *strategy, candidates)
+	if err != nil {
+		log.Fatalf("adaptive search (determinism re-run): %v", err)
+	}
 	fmt.Print(res.Table("adaptive search").String())
 	fmt.Printf("\nadaptive %s search: %d of %d candidates reached full fidelity, best %s (%.3f)\n",
 		*strategy, res.FullFidelityRuns, len(candidates), res.Best, res.BestObjective)
@@ -101,15 +113,15 @@ func main() {
 	}
 }
 
-func exhaustive(cfg dramtherm.Config, workers int, specs []dramtherm.Spec) (dramtherm.Spec, float64) {
+func exhaustive(cfg dramtherm.Config, workers int, specs []dramtherm.Spec) (dramtherm.Spec, float64, error) {
 	eng, err := dramtherm.NewEngine(cfg, dramtherm.WithWorkers(workers))
 	if err != nil {
-		log.Fatalf("engine: %v", err)
+		return dramtherm.Spec{}, 0, fmt.Errorf("engine: %w", err)
 	}
 	defer eng.Close()
 	res, err := eng.Sweep(context.Background(), specs, dramtherm.SweepOptions{Normalize: true})
 	if err != nil {
-		log.Fatalf("exhaustive sweep: %v", err)
+		return dramtherm.Spec{}, 0, err
 	}
 	best := 0
 	for i := range specs {
@@ -117,13 +129,13 @@ func exhaustive(cfg dramtherm.Config, workers int, specs []dramtherm.Spec) (dram
 			best = i
 		}
 	}
-	return specs[best], res.Norms[best]
+	return specs[best], res.Norms[best], nil
 }
 
-func search(cfg dramtherm.Config, workers int, strategy string, candidates []dramtherm.Spec) *dramtherm.SearchResult {
+func search(cfg dramtherm.Config, workers int, strategy string, candidates []dramtherm.Spec) (*dramtherm.SearchResult, error) {
 	eng, err := dramtherm.NewEngine(cfg, dramtherm.WithWorkers(workers))
 	if err != nil {
-		log.Fatalf("engine: %v", err)
+		return nil, fmt.Errorf("engine: %w", err)
 	}
 	defer eng.Close()
 	var strat dramtherm.Strategy
@@ -133,13 +145,9 @@ func search(cfg dramtherm.Config, workers int, strategy string, candidates []dra
 	case "bounds":
 		strat = &dramtherm.BoundPrune{Candidates: candidates}
 	default:
-		log.Fatalf("unknown -strategy %q (want halving or bounds)", strategy)
+		return nil, fmt.Errorf("unknown -strategy %q (want halving or bounds)", strategy)
 	}
-	res, err := eng.Search(context.Background(), strat, dramtherm.SearchOptions{Normalize: true})
-	if err != nil {
-		log.Fatalf("search: %v", err)
-	}
-	return res
+	return eng.Search(context.Background(), strat, dramtherm.SearchOptions{Normalize: true})
 }
 
 // serverSearch submits the search as an async job against an embedded

@@ -1,0 +1,75 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSnapshotForkBitIdentical: a restored cache serves the exact same
+// hit/miss/writeback sequence as the cache it was captured from.
+func TestSnapshotForkBitIdentical(t *testing.T) {
+	src := small(t)
+	rng := rand.New(rand.NewSource(11))
+	access := func(c *Cache) Result {
+		kind := Load
+		if rng.Intn(3) == 0 {
+			kind = Store
+		}
+		return c.Access(rng.Intn(2), Addr(rng.Intn(512))*64, kind)
+	}
+	for i := 0; i < 500; i++ {
+		access(src)
+	}
+	st := src.Snapshot()
+
+	dst := small(t)
+	if err := dst.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Stats() != src.Stats() {
+		t.Fatalf("restored stats %+v != source %+v", dst.Stats(), src.Stats())
+	}
+	// Lockstep: both caches see the identical remaining access stream.
+	seq := rand.New(rand.NewSource(12))
+	for i := 0; i < 500; i++ {
+		kind := Load
+		if seq.Intn(3) == 0 {
+			kind = Store
+		}
+		addr := Addr(seq.Intn(512)) * 64
+		core := seq.Intn(2)
+		if a, b := src.Access(core, addr, kind), dst.Access(core, addr, kind); a != b {
+			t.Fatalf("access %d: %+v vs %+v", i, a, b)
+		}
+	}
+	if src.Stats() != dst.Stats() || src.CoreStats(0) != dst.CoreStats(0) || src.CoreStats(1) != dst.CoreStats(1) {
+		t.Fatal("stats diverged after lockstep accesses")
+	}
+}
+
+// TestSnapshotIsDeepCopy: mutating the source after Snapshot must not
+// bleed into the captured state.
+func TestSnapshotIsDeepCopy(t *testing.T) {
+	src := small(t)
+	src.Access(0, 0, Store)
+	st := src.Snapshot()
+	dirtyBefore := append([]bool(nil), st.Dirty...)
+	src.Flush()
+	for i := range st.Dirty {
+		if st.Dirty[i] != dirtyBefore[i] {
+			t.Fatal("snapshot aliases the live dirty array")
+		}
+	}
+}
+
+func TestRestoreRejectsGeometryMismatch(t *testing.T) {
+	st := small(t).Snapshot()
+	bigger := mustNew(t, Config{SizeKB: 16, Ways: 2, LineBytes: 64}, 2)
+	if err := bigger.Restore(st); err == nil {
+		t.Fatal("8KB snapshot restored onto a 16KB cache")
+	}
+	moreCores := mustNew(t, Config{SizeKB: 8, Ways: 2, LineBytes: 64}, 4)
+	if err := moreCores.Restore(st); err == nil {
+		t.Fatal("2-core snapshot restored onto a 4-core cache")
+	}
+}

@@ -138,8 +138,21 @@ func (s *System) Run(spec RunSpec) (sim.MEMSpotResult, error) {
 // windows once ctx is done. The concurrent sweep engine uses it to tear
 // down in-flight work promptly.
 func (s *System) RunCtx(ctx context.Context, spec RunSpec) (sim.MEMSpotResult, error) {
+	ms, err := s.NewRun(spec)
+	if err != nil {
+		return sim.MEMSpotResult{}, err
+	}
+	return ms.RunCtx(ctx)
+}
+
+// NewRun builds (without running) the level-2 simulator instance for
+// spec, backed by the system's shared trace store. The prefix-sharing
+// layer (internal/sweep/prefix) uses it to drive runs decision window by
+// decision window with checkpoint hooks; RunCtx is NewRun followed by
+// running the instance to completion.
+func (s *System) NewRun(spec RunSpec) (*sim.MEMSpot, error) {
 	if spec.Policy == nil {
-		return sim.MEMSpotResult{}, fmt.Errorf("core: RunSpec needs a policy")
+		return nil, fmt.Errorf("core: RunSpec needs a policy")
 	}
 	amb := fbconfig.AmbientIsolated
 	if spec.Model == Integrated {
@@ -182,7 +195,7 @@ func (s *System) RunCtx(ctx context.Context, spec RunSpec) (sim.MEMSpotResult, e
 		InstrScale:   scale,
 		ExactThermal: s.cfg.ExactThermal,
 	}
-	return sim.RunMixCtx(ctx, cfg, s.store)
+	return sim.NewMEMSpot(cfg, s.store)
 }
 
 // PolicyNames lists the Chapter 4 policy constructors available through

@@ -1,0 +1,162 @@
+// Snapshot/restore seam for the level-1 machine. The subtle invariant is
+// request-pointer isolation: a Multicore recycles completed
+// *memctrl.Request structs through a freelist, and naively copying that
+// freelist (or any pending request pointer) into a snapshot would let a
+// restored machine and its source mutate the same structs. Snapshot
+// therefore captures every request by value, and Restore materializes
+// fresh allocations and an empty freelist — the restored machine shares
+// no request pointer with the machine it came from, which the -race
+// regression test in snapshot_test.go checks by running both
+// concurrently.
+
+package cpu
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"dramtherm/internal/cache"
+	"dramtherm/internal/memctrl"
+	"dramtherm/internal/workload"
+)
+
+// CoreState is the restorable state of one core.
+type CoreState struct {
+	Prof        string // profile name; empty = idle core
+	PhaseMul    float64
+	FreqGHz     float64
+	Gated       bool
+	Outstanding int
+	// PendingReqValid gates PendingReq: a pending request may be the
+	// zero value, so presence cannot be inferred from the payload.
+	PendingReqValid bool
+	PendingReq      memctrl.RequestState
+	PendingWB       []memctrl.RequestState
+	ToNextAcc       float64
+	HitStall        float64
+	Stats           CoreStats
+	Stream          workload.StreamState // valid when Prof != ""
+}
+
+// MulticoreState is the restorable state of a Multicore and its memory
+// system. The freelist is deliberately absent: it is an allocation
+// cache, not simulation state, and carrying its pointers across a
+// checkpoint would leak recycled requests between machines.
+type MulticoreState struct {
+	Now   float64
+	Cores []CoreState
+	L2s   []cache.State
+	Mem   memctrl.ControllerState
+}
+
+// Snapshot deep-copies the machine's dynamic state, requests by value.
+func (m *Multicore) Snapshot() *MulticoreState {
+	st := &MulticoreState{
+		Now:   m.now,
+		Cores: make([]CoreState, len(m.cores)),
+		L2s:   make([]cache.State, len(m.l2s)),
+		Mem:   m.mem.Snapshot(),
+	}
+	for i, c := range m.cores {
+		cs := CoreState{
+			PhaseMul:    c.phaseMul,
+			FreqGHz:     c.freqGHz,
+			Gated:       c.gated,
+			Outstanding: c.outstanding,
+			ToNextAcc:   c.toNextAcc,
+			HitStall:    c.hitStall,
+			Stats:       c.stats,
+		}
+		if c.prof != nil {
+			cs.Prof = c.prof.Name
+			cs.Stream = c.stream.Snapshot()
+		}
+		if c.pendingReq != nil {
+			cs.PendingReqValid = true
+			cs.PendingReq = c.pendingReq.State()
+		}
+		cs.PendingWB = make([]memctrl.RequestState, len(c.pendingWB))
+		for j, wb := range c.pendingWB {
+			cs.PendingWB[j] = wb.State()
+		}
+		st.Cores[i] = cs
+	}
+	for i, l2 := range m.l2s {
+		st.L2s[i] = l2.Snapshot()
+	}
+	return st
+}
+
+// Restore overwrites the machine's state from a snapshot taken on a
+// machine with the same configuration. All pending requests are fresh
+// allocations and the freelist starts empty, so the restored machine
+// holds no pointer into the snapshotted one.
+func (m *Multicore) Restore(st *MulticoreState) error {
+	if len(st.Cores) != len(m.cores) {
+		return fmt.Errorf("cpu: restore with %d cores onto %d", len(st.Cores), len(m.cores))
+	}
+	if len(st.L2s) != len(m.l2s) {
+		return fmt.Errorf("cpu: restore with %d L2 domains onto %d", len(st.L2s), len(m.l2s))
+	}
+	for i, ls := range st.L2s {
+		if err := m.l2s[i].Restore(ls); err != nil {
+			return err
+		}
+	}
+	if err := m.mem.Restore(st.Mem); err != nil {
+		return err
+	}
+	for i, cs := range st.Cores {
+		c := m.cores[i]
+		c.phaseMul = cs.PhaseMul
+		c.freqGHz = cs.FreqGHz
+		c.gated = cs.Gated
+		c.outstanding = cs.Outstanding
+		c.toNextAcc = cs.ToNextAcc
+		c.hitStall = cs.HitStall
+		c.stats = cs.Stats
+		if cs.Prof == "" {
+			c.prof, c.stream = nil, nil
+		} else {
+			p, err := workload.ByName(cs.Prof)
+			if err != nil {
+				return fmt.Errorf("cpu: restore core %d: %w", i, err)
+			}
+			s, err := workload.RestoreStream(cs.Stream)
+			if err != nil {
+				return fmt.Errorf("cpu: restore core %d stream: %w", i, err)
+			}
+			c.prof, c.stream = p, s
+		}
+		c.pendingReq = nil
+		if cs.PendingReqValid {
+			c.pendingReq = memctrl.NewRequest(cs.PendingReq)
+		}
+		c.pendingWB = nil
+		for _, wb := range cs.PendingWB {
+			c.pendingWB = append(c.pendingWB, memctrl.NewRequest(wb))
+		}
+	}
+	m.now = st.Now
+	// The freelist is an allocation cache of the *source* machine's dead
+	// requests; recycling them here would hand live pointers to two
+	// machines at once. Start empty and let it refill from this machine's
+	// own completions.
+	m.free = nil
+	m.compBuf = m.compBuf[:0]
+	return nil
+}
+
+// FreeListLen reports the freelist population, exposed for the
+// pointer-isolation regression test.
+func (m *Multicore) FreeListLen() int { return len(m.free) }
+
+// Digest returns the canonical digest of the state: SHA-256 over its
+// full-precision rendering, truncated to 16 hex digits (the
+// core.ConfigDigest idiom; the state holds no maps, so the rendering is
+// deterministic).
+func (st *MulticoreState) Digest() string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%+v", *st)))
+	return hex.EncodeToString(sum[:8])
+}

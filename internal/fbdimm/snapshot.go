@@ -1,0 +1,63 @@
+// Snapshot/restore seam for the FBDIMM channel, part of the level-1
+// checkpoint chain (internal/cpu). Channel state is bank/link timing
+// plus counters and row-buffer state — all plain data.
+
+package fbdimm
+
+import "fmt"
+
+// ChannelState is the restorable state of a Channel. Timing and
+// geometry are configuration; Restore checks them via array lengths.
+type ChannelState struct {
+	BankFree  []float64
+	SouthFree float64
+	NorthFree float64
+
+	Traffic    []DIMMTrafficBytes
+	ReadBytes  uint64
+	WriteBytes uint64
+
+	PageMode     PageMode
+	OpenRow      []int64
+	RowHits      uint64
+	RowMisses    uint64
+	RowConflicts uint64
+}
+
+// Snapshot deep-copies the channel's dynamic state.
+func (c *Channel) Snapshot() ChannelState {
+	return ChannelState{
+		BankFree:     append([]float64(nil), c.bankFree...),
+		SouthFree:    c.southFree,
+		NorthFree:    c.northFree,
+		Traffic:      append([]DIMMTrafficBytes(nil), c.traffic...),
+		ReadBytes:    c.readBytes,
+		WriteBytes:   c.writeBytes,
+		PageMode:     c.pageMode,
+		OpenRow:      append([]int64(nil), c.openRow...),
+		RowHits:      c.rowHits,
+		RowMisses:    c.rowMisses,
+		RowConflicts: c.rowConflicts,
+	}
+}
+
+// Restore overwrites the channel's state from a snapshot taken on a
+// channel with the same geometry.
+func (c *Channel) Restore(st ChannelState) error {
+	if len(st.BankFree) != len(c.bankFree) || len(st.Traffic) != len(c.traffic) ||
+		len(st.OpenRow) != len(c.openRow) {
+		return fmt.Errorf("fbdimm: restore onto a channel with different geometry")
+	}
+	copy(c.bankFree, st.BankFree)
+	c.southFree = st.SouthFree
+	c.northFree = st.NorthFree
+	copy(c.traffic, st.Traffic)
+	c.readBytes = st.ReadBytes
+	c.writeBytes = st.WriteBytes
+	c.pageMode = st.PageMode
+	copy(c.openRow, st.OpenRow)
+	c.rowHits = st.RowHits
+	c.rowMisses = st.RowMisses
+	c.rowConflicts = st.RowConflicts
+	return nil
+}

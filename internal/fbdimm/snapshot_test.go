@@ -1,0 +1,59 @@
+package fbdimm
+
+import (
+	"testing"
+)
+
+// TestChannelSnapshotForkBitIdentical: a restored channel issues the
+// remaining request stream with the exact same latencies and counters as
+// the channel it was captured from, in both page modes.
+func TestChannelSnapshotForkBitIdentical(t *testing.T) {
+	for _, mode := range []PageMode{ClosePage, OpenPage} {
+		src := mustChannel(t, 4, 8)
+		src.SetPageMode(mode)
+		now := 0.0
+		for i := 0; i < 200; i++ {
+			d, b, row := i%4, (i/4)%8, int64(i%3)
+			if src.CanIssue(now, d, b, i%2 == 0) {
+				src.IssueRow(now, d, b, row, i%2 == 0)
+			}
+			now += 7
+		}
+		st := src.Snapshot()
+
+		dst := mustChannel(t, 4, 8)
+		dst.SetPageMode(mode)
+		if err := dst.Restore(st); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 200; i++ {
+			d, b, row := i%4, (i/4)%8, int64(i%5)
+			write := i%3 == 0
+			if can, can2 := src.CanIssue(now, d, b, write), dst.CanIssue(now, d, b, write); can != can2 {
+				t.Fatalf("mode %v issue %d: CanIssue %v vs %v", mode, i, can, can2)
+			} else if can {
+				if a, b2 := src.IssueRow(now, d, b, row, write), dst.IssueRow(now, d, b, row, write); a != b2 {
+					t.Fatalf("mode %v issue %d: latency %v vs %v", mode, i, a, b2)
+				}
+			}
+			now += 11
+		}
+		sr, sw := src.Bytes()
+		dr, dw := dst.Bytes()
+		if sr != dr || sw != dw {
+			t.Fatalf("mode %v: bytes diverged: %d/%d vs %d/%d", mode, sr, sw, dr, dw)
+		}
+		h1, m1, c1 := src.RowStats()
+		h2, m2, c2 := dst.RowStats()
+		if h1 != h2 || m1 != m2 || c1 != c2 {
+			t.Fatalf("mode %v: row stats diverged: %d/%d/%d vs %d/%d/%d", mode, h1, m1, c1, h2, m2, c2)
+		}
+	}
+}
+
+func TestChannelRestoreGeometryMismatch(t *testing.T) {
+	st := mustChannel(t, 4, 8).Snapshot()
+	if err := mustChannel(t, 2, 8).Restore(st); err == nil {
+		t.Fatal("4-DIMM snapshot restored onto a 2-DIMM channel")
+	}
+}

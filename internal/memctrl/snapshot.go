@@ -1,0 +1,135 @@
+// Snapshot/restore seam for the memory controller, part of the level-1
+// checkpoint chain (internal/cpu). Requests are captured by value —
+// including the unexported routing fields — and Restore materializes
+// fresh *Request allocations, so a restored controller never shares live
+// request pointers with the machine it was snapshotted from.
+
+package memctrl
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"dramtherm/internal/fbdimm"
+)
+
+// RequestState is the by-value capture of one Request, routing fields
+// included.
+type RequestState struct {
+	Core        int
+	Addr        uint64
+	Write       bool
+	Speculative bool
+	Channel     int
+	DIMM        int
+	Bank        int
+	Row         int64
+	Enqueued    float64
+}
+
+// State captures the request by value.
+func (r *Request) State() RequestState {
+	return RequestState{
+		Core: r.Core, Addr: r.Addr, Write: r.Write, Speculative: r.Speculative,
+		Channel: r.channel, DIMM: r.dimm, Bank: r.bank, Row: r.row, Enqueued: r.enqueued,
+	}
+}
+
+// NewRequest materializes a fresh Request from a captured state.
+func NewRequest(st RequestState) *Request {
+	return &Request{
+		Core: st.Core, Addr: st.Addr, Write: st.Write, Speculative: st.Speculative,
+		channel: st.Channel, dimm: st.DIMM, bank: st.Bank, row: st.Row, enqueued: st.Enqueued,
+	}
+}
+
+// CompletionState is the by-value capture of one scheduled completion.
+type CompletionState struct {
+	Req  RequestState
+	Time float64
+}
+
+// ControllerState is the restorable state of a Controller. The
+// completion entries are stored in heap order, which is itself a valid
+// heap, so Restore reloads them verbatim.
+type ControllerState struct {
+	Queue       []RequestState
+	Completions []CompletionState
+	Stats       Stats
+
+	CapBytesPerSec float64
+	WindowStart    float64
+	WindowBudget   float64
+	BudgetValid    bool
+	Shutdown       bool
+
+	Channels []fbdimm.ChannelState
+}
+
+// Snapshot deep-copies the controller's dynamic state.
+func (c *Controller) Snapshot() ControllerState {
+	st := ControllerState{
+		Queue:          make([]RequestState, len(c.queue)),
+		Completions:    make([]CompletionState, len(c.completions)),
+		Stats:          c.stats,
+		CapBytesPerSec: c.capBytesPerSec,
+		WindowStart:    c.windowStart,
+		WindowBudget:   c.windowBudget,
+		BudgetValid:    c.budgetValid,
+		Shutdown:       c.shutdown,
+		Channels:       make([]fbdimm.ChannelState, len(c.channels)),
+	}
+	for i, r := range c.queue {
+		st.Queue[i] = r.State()
+	}
+	for i, comp := range c.completions {
+		st.Completions[i] = CompletionState{Req: comp.Req.State(), Time: comp.Time}
+	}
+	for i, ch := range c.channels {
+		st.Channels[i] = ch.Snapshot()
+	}
+	return st
+}
+
+// Restore overwrites the controller's state from a snapshot taken on a
+// controller with the same configuration. Every queued and in-flight
+// request is a fresh allocation: the restored controller holds no
+// pointer into the snapshotted machine.
+func (c *Controller) Restore(st ControllerState) error {
+	if len(st.Channels) != len(c.channels) {
+		return fmt.Errorf("memctrl: restore with %d channels onto %d", len(st.Channels), len(c.channels))
+	}
+	if len(st.Queue) > c.cfg.QueueSize {
+		return fmt.Errorf("memctrl: restore with %d queued requests, queue size %d", len(st.Queue), c.cfg.QueueSize)
+	}
+	for i, chs := range st.Channels {
+		if err := c.channels[i].Restore(chs); err != nil {
+			return err
+		}
+	}
+	c.queue = c.queue[:0]
+	for _, rs := range st.Queue {
+		c.queue = append(c.queue, NewRequest(rs))
+	}
+	c.completions = c.completions[:0]
+	for _, cs := range st.Completions {
+		c.completions = append(c.completions, Completion{Req: NewRequest(cs.Req), Time: cs.Time})
+	}
+	c.stats = st.Stats
+	c.capBytesPerSec = st.CapBytesPerSec
+	c.windowStart = st.WindowStart
+	c.windowBudget = st.WindowBudget
+	c.budgetValid = st.BudgetValid
+	c.shutdown = st.Shutdown
+	return nil
+}
+
+// Digest returns the canonical digest of the state: SHA-256 over its
+// full-precision rendering, truncated to 16 hex digits (the
+// core.ConfigDigest idiom; the state holds no maps, so the rendering is
+// deterministic).
+func (st ControllerState) Digest() string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%+v", st)))
+	return hex.EncodeToString(sum[:8])
+}

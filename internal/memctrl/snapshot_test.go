@@ -1,0 +1,103 @@
+package memctrl
+
+import (
+	"testing"
+
+	"dramtherm/internal/fbconfig"
+)
+
+// loadedController enqueues a spread of requests and ticks partway, so
+// the snapshot carries a non-empty queue, in-flight completions and
+// window-budget state.
+func loadedController(t *testing.T) (*Controller, float64) {
+	t.Helper()
+	c := mustNew(t)
+	c.SetBandwidthCap(6.4)
+	now := 0.0
+	for i := 0; i < 40; i++ {
+		c.Enqueue(&Request{Core: i % 4, Addr: uint64(i) * 64, Write: i%3 == 0}, now)
+		if i%4 == 3 {
+			c.Tick(now)
+			now += 30
+		}
+	}
+	if c.QueueLen() == 0 {
+		t.Fatal("scenario vacuous: queue drained before snapshot")
+	}
+	return c, now
+}
+
+// TestControllerSnapshotForkBitIdentical: a restored controller drains
+// the same completions at the same times with the same stats as the
+// controller it was captured from.
+func TestControllerSnapshotForkBitIdentical(t *testing.T) {
+	src, now := loadedController(t)
+	st := src.Snapshot()
+	if st.Digest() != src.Snapshot().Digest() {
+		t.Fatal("snapshot digest not stable")
+	}
+
+	dst := mustNew(t)
+	if err := dst.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		a, b := src.Tick(now), dst.Tick(now)
+		if len(a) != len(b) {
+			t.Fatalf("tick %d: %d vs %d completions", i, len(a), len(b))
+		}
+		for j := range a {
+			if a[j].Time != b[j].Time || a[j].Req.State() != b[j].Req.State() {
+				t.Fatalf("tick %d completion %d: %+v@%v vs %+v@%v",
+					i, j, a[j].Req.State(), a[j].Time, b[j].Req.State(), b[j].Time)
+			}
+			if a[j].Req == b[j].Req {
+				t.Fatal("restored controller shares a live *Request with its source")
+			}
+		}
+		now += 15
+	}
+	if src.Stats() != dst.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", src.Stats(), dst.Stats())
+	}
+	if src.Snapshot().Digest() != dst.Snapshot().Digest() {
+		t.Fatal("final digests differ after lockstep ticks")
+	}
+}
+
+func TestControllerRestoreValidation(t *testing.T) {
+	src, _ := loadedController(t)
+	st := src.Snapshot()
+
+	cfg := DefaultConfig(fbconfig.DefaultSimParams)
+	cfg.Channels = 1
+	narrow, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := narrow.Restore(st); err == nil {
+		t.Fatal("snapshot restored onto a controller with fewer channels")
+	}
+
+	over := st
+	over.Queue = make([]RequestState, src.cfg.QueueSize+1)
+	if err := mustNew(t).Restore(over); err == nil {
+		t.Fatal("oversized queue restored")
+	}
+}
+
+// TestRequestStateRoundTrip: State/NewRequest preserve the routing
+// fields the scheduler depends on.
+func TestRequestStateRoundTrip(t *testing.T) {
+	c := mustNew(t)
+	r := &Request{Core: 2, Addr: 0x12340, Write: true, Speculative: true}
+	c.Enqueue(r, 5)
+	st := r.State()
+	fresh := NewRequest(st)
+	if fresh == r {
+		t.Fatal("NewRequest returned the captured pointer")
+	}
+	if fresh.State() != st {
+		t.Fatalf("round trip changed state: %+v vs %+v", fresh.State(), st)
+	}
+}

@@ -164,6 +164,9 @@ type MEMSpot struct {
 	lastRates   trace.Rates
 	haveLast    bool
 
+	steps     int64 // windows on the simulated timeline (inherited on Restore)
+	decisions int   // DTM decisions taken so far; index of the next decision
+
 	res MEMSpotResult
 }
 
@@ -303,10 +306,33 @@ func (m *MEMSpot) StepWindow() error { return m.step() }
 // Done reports whether the batch has completed (all jobs finished).
 func (m *MEMSpot) Done() bool { return m.done() }
 
+// Now returns the current simulated time in seconds.
+func (m *MEMSpot) Now() float64 { return m.now }
+
+// Window returns the simulation window length in seconds.
+func (m *MEMSpot) Window() float64 { return m.cfg.WindowS }
+
+// StepsTaken counts the windows on the simulated timeline so far,
+// including windows inherited through Restore rather than executed here.
+func (m *MEMSpot) StepsTaken() int64 { return m.steps }
+
+// Decisions counts the DTM decisions taken so far — equally, the index
+// of the next decision the policy will be asked for.
+func (m *MEMSpot) Decisions() int { return m.decisions }
+
 // RunCtx is Run with cancellation: the simulation loop aborts between
 // windows as soon as ctx is done, returning the context error and the
 // partial result accumulated so far.
 func (m *MEMSpot) RunCtx(ctx context.Context) (MEMSpotResult, error) {
+	return m.RunHooked(ctx, nil)
+}
+
+// RunHooked is RunCtx with an optional hook fired at every DTM decision
+// boundary, immediately before the window that takes the decision. The
+// prefix-sharing layer (internal/sweep/prefix) uses it to snapshot the
+// simulator between policy decisions; a hook error aborts the run. A nil
+// hook makes RunHooked identical to RunCtx.
+func (m *MEMSpot) RunHooked(ctx context.Context, hook func(*MEMSpot) error) (MEMSpotResult, error) {
 	for !m.done() {
 		if err := ctx.Err(); err != nil {
 			m.res.Seconds = m.now
@@ -315,6 +341,12 @@ func (m *MEMSpot) RunCtx(ctx context.Context) (MEMSpotResult, error) {
 		if m.now >= m.cfg.MaxSeconds {
 			m.res.TimedOut = true
 			break
+		}
+		if hook != nil && m.now >= m.nextDTM {
+			if err := hook(m); err != nil {
+				m.res.Seconds = m.now
+				return m.res, err
+			}
 		}
 		if err := m.step(); err != nil {
 			return m.res, err
@@ -343,6 +375,7 @@ func (m *MEMSpot) step() error {
 		m.act = m.cfg.Policy.Decide(dtm.Input{
 			AMB: ambR, DRAM: dramR, Now: m.now, Dt: m.cfg.DTMIntervalS,
 		})
+		m.decisions++
 		m.nextDTM += m.cfg.DTMIntervalS
 		overheadThisWindow = m.cfg.DTMOverheadS
 	}
@@ -475,6 +508,7 @@ func (m *MEMSpot) step() error {
 	}
 
 	m.now += win
+	m.steps++
 	return nil
 }
 

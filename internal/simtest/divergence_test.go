@@ -1,0 +1,218 @@
+package simtest
+
+import (
+	"context"
+	"testing"
+
+	"dramtherm/internal/core"
+	"dramtherm/internal/fbconfig"
+	"dramtherm/internal/sim"
+	"dramtherm/internal/sweep/prefix"
+	"dramtherm/internal/trace"
+)
+
+// hotLimits are tightened so a CI-sized run — whose AMB climbs from
+// ≈100.5 °C to ≈100.9 °C — crosses the first emergency boundary
+// (AMBTDP − 2) mid-run: the group stays cool (and shareable) for its
+// first decisions, then the policies throttle differently and diverge.
+var hotLimits = fbconfig.ThermalLimits{AMBTDP: 102.8, DRAMTDP: 85, AMBTRP: 100.85, DRAMTRP: 84}
+
+// divergencePolicies spans the mechanism space: shutdown (TS), bandwidth
+// cap (BW), core gating (ACG), DVFS (CDVFS), combined, and the
+// never-throttling baseline.
+var divergencePolicies = []string{"No-limit", "DTM-TS", "DTM-BW", "DTM-ACG", "DTM-CDVFS", "DTM-COMB"}
+
+// specBuilder adapts one simtest Spec to the prefix.Builder seam: every
+// run shares one synthetic trace store, and the policy comes from the
+// RunSpec (the sharer constructs a fresh one per attempt via newRun).
+type specBuilder struct {
+	base  Spec
+	store *trace.Store
+}
+
+func (b specBuilder) NewRun(rs core.RunSpec) (*sim.MEMSpot, error) {
+	// The base policy name is a placeholder — the built config runs under
+	// the RunSpec's policy instance.
+	b.base.Policy = "No-limit"
+	cfg, err := b.base.Config(false)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Policy = rs.Policy
+	return sim.NewMEMSpot(cfg, b.store)
+}
+
+// newRunFor returns the sharer's newRun callback for one policy name: a
+// fresh stateful policy instance on every call.
+func newRunFor(s Spec, policy string) func() (core.RunSpec, error) {
+	return func() (core.RunSpec, error) {
+		s.Policy = policy
+		cfg, err := s.Config(false)
+		if err != nil {
+			return core.RunSpec{}, err
+		}
+		return core.RunSpec{Policy: cfg.Policy}, nil
+	}
+}
+
+// runShared executes every policy for spec through one sharer group and
+// returns the per-policy results plus the sharer's stats.
+func runShared(t *testing.T, spec Spec, store *trace.Store) (map[string]sim.MEMSpotResult, prefix.Stats) {
+	t.Helper()
+	sharer := prefix.New(specBuilder{base: spec, store: store})
+	out := make(map[string]sim.MEMSpotResult, len(divergencePolicies))
+	for _, p := range divergencePolicies {
+		res, err := sharer.Run(context.Background(), "slice", newRunFor(spec, p))
+		if err != nil {
+			t.Fatalf("%s via sharer: %v", p, err)
+		}
+		out[p] = res
+	}
+	return out, sharer.Stats()
+}
+
+// runColdAll executes every policy for spec as plain cold replays over
+// the same store.
+func runColdAll(t *testing.T, spec Spec, store *trace.Store) map[string]sim.MEMSpotResult {
+	t.Helper()
+	out := make(map[string]sim.MEMSpotResult, len(divergencePolicies))
+	for _, p := range divergencePolicies {
+		s := spec
+		s.Policy = p
+		cfg, err := s.Config(false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.RunMix(cfg, store)
+		if err != nil {
+			t.Fatalf("%s cold: %v", p, err)
+		}
+		out[p] = res
+	}
+	return out
+}
+
+// TestDivergenceDifferential is the divergence-point differential suite:
+// seeded random workloads run every policy slice both ways — cold replay
+// and checkpoint-resume through the prefix sharer — and every result
+// must match at 0 ULP: bit-identical report-table inputs, bit-identical
+// trajectories. Limits are tightened on half the specs so followers
+// exercise the checkpoint-restore path, not just full result reuse.
+func TestDivergenceDifferential(t *testing.T) {
+	n := 4
+	if testing.Short() {
+		n = 2
+	}
+	for i := 0; i < n; i++ {
+		spec := Spec{
+			MixName:    []string{"W1", "W4", "W7", "W3"}[i%4],
+			Replicas:   1,
+			InstrScale: 0.004,
+			MaxSeconds: 2000,
+		}
+		hot := i%2 == 0
+		if hot {
+			spec.Limits = hotLimits
+		}
+		store := trace.NewStore(trace.BuilderFunc(SyntheticRates))
+		cold := runColdAll(t, spec, store)
+		shared, st := runShared(t, spec, store)
+		for _, p := range divergencePolicies {
+			if _, err := CompareResults(cold[p], shared[p], 0); err != nil {
+				t.Fatalf("spec %d (%s, hot=%v) policy %s: shared diverges from cold: %v",
+					i, spec.MixName, hot, p, err)
+			}
+		}
+		if st.Leaders != 1 || st.FullReuse+st.Resumed+st.Cold != int64(len(divergencePolicies))-1 {
+			t.Fatalf("spec %d: implausible sharer stats %+v", i, st)
+		}
+		if hot && st.Resumed == 0 {
+			t.Errorf("spec %d (%s): tightened limits produced no checkpoint resume — "+
+				"the differential is not exercising the restore path: %+v", i, spec.MixName, st)
+		}
+		if st.StepsSaved == 0 {
+			t.Errorf("spec %d: sharing saved no timesteps: %+v", i, st)
+		}
+		t.Logf("spec %d %-3s hot=%-5v: %+v", i, spec.MixName, hot, st)
+	}
+}
+
+// TestDivergencePointMatchesLockstep is the property test for the probe:
+// the first divergence index DivergencePoint finds from the leader's log
+// must equal the first index at which two brute-force lockstep cold runs
+// — leader policy and follower policy, full simulations each — actually
+// record different actions. Inputs must agree up to that index, which is
+// the induction step the whole resume scheme rests on.
+func TestDivergencePointMatchesLockstep(t *testing.T) {
+	spec := Spec{
+		MixName:    "W1",
+		Replicas:   1,
+		InstrScale: 0.004,
+		MaxSeconds: 2000,
+		Limits:     hotLimits,
+	}
+	store := trace.NewStore(trace.BuilderFunc(SyntheticRates))
+
+	record := func(policy string) []prefix.DecisionRecord {
+		s := spec
+		s.Policy = policy
+		cfg, err := s.Config(false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := prefix.NewRecorder(cfg.Policy)
+		cfg.Policy = rec
+		if _, err := sim.RunMix(cfg, store); err != nil {
+			t.Fatalf("%s under recorder: %v", policy, err)
+		}
+		return rec.Log()
+	}
+	logs := make(map[string][]prefix.DecisionRecord, len(divergencePolicies))
+	for _, p := range divergencePolicies {
+		logs[p] = record(p)
+		if len(logs[p]) == 0 {
+			t.Fatalf("%s recorded no decisions", p)
+		}
+	}
+
+	var pairs, diverged int
+	for _, lead := range divergencePolicies {
+		for _, follow := range divergencePolicies {
+			if lead == follow {
+				continue
+			}
+			pairs++
+			la, lb := logs[lead], logs[follow]
+			brute := len(la)
+			if len(lb) < brute {
+				brute = len(lb)
+			}
+			for i := 0; i < brute; i++ {
+				if la[i].Act != lb[i].Act {
+					brute = i
+					break
+				}
+			}
+			s := spec
+			s.Policy = follow
+			cfg, err := s.Config(false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if k := prefix.DivergencePoint(la, cfg.Policy); k != brute {
+				t.Errorf("%s vs %s: DivergencePoint %d, lockstep brute force %d", lead, follow, k, brute)
+			}
+			if brute < len(la) {
+				diverged++
+			}
+			for i := 0; i < brute && i < len(lb); i++ {
+				if la[i].In != lb[i].In {
+					t.Fatalf("%s vs %s: inputs diverge at %d before actions do — the induction premise is broken", lead, follow, i)
+				}
+			}
+		}
+	}
+	if diverged == 0 {
+		t.Fatalf("no pair of %d diverged — tighten the limits so the property test has teeth", pairs)
+	}
+}

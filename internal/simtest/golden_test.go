@@ -38,17 +38,22 @@ func TestGoldenReportTables(t *testing.T) {
 		Policies: []string{"DTM-TS", "DTM-BW", "DTM-ACG", "DTM-CDVFS"},
 	}.Expand()
 
-	tables := make(map[string]string, 3)
+	tables := make(map[string]string, 4)
 	for _, v := range []struct {
 		name    string
 		exact   bool
 		workers int
+		prefix  bool
 	}{
-		{"fast-serial", false, 1},
-		{"fast-parallel", false, 4},
-		{"exact-serial", true, 1},
+		{"fast-serial", false, 1, false},
+		{"fast-parallel", false, 4, false},
+		{"fast-prefix", false, 4, true},
+		{"exact-serial", true, 1, false},
 	} {
 		eng := sweep.NewEngine(core.NewSystem(goldenConfig(v.exact)), v.workers)
+		if v.prefix {
+			eng.EnablePrefixSharing()
+		}
 		res, err := eng.Sweep(context.Background(), specs, sweep.Options{})
 		if err != nil {
 			t.Fatalf("%s: %v", v.name, err)
@@ -65,5 +70,9 @@ func TestGoldenReportTables(t *testing.T) {
 	if tables["fast-parallel"] != tables["exact-serial"] {
 		t.Errorf("fast parallel table diverges from exact reference:\nparallel:\n%s\nexact:\n%s",
 			tables["fast-parallel"], tables["exact-serial"])
+	}
+	if tables["fast-prefix"] != tables["exact-serial"] {
+		t.Errorf("prefix-shared table diverges from exact reference:\nprefix:\n%s\nexact:\n%s",
+			tables["fast-prefix"], tables["exact-serial"])
 	}
 }

@@ -1,0 +1,91 @@
+package simtest
+
+import (
+	"context"
+	"testing"
+
+	"dramtherm/internal/core"
+	"dramtherm/internal/fbconfig"
+	"dramtherm/internal/obs"
+	"dramtherm/internal/sweep"
+)
+
+// prefixGrid is the acceptance grid: 4 policies × 8 limit points on W1,
+// a TRP/TDP sensitivity sweep around the paper's defaults. The limit
+// spread matters — the loose TDPs (the paper's 110 °C neighborhood)
+// never throttle at this run's temperatures, so followers reuse the
+// leader's whole result; the tight tail throttles at different depths,
+// so followers resume from mid-run checkpoints. Both reuse modes are on
+// the table, weighted the way a real sensitivity sweep weights them.
+func prefixGrid() []sweep.Spec {
+	var lims []fbconfig.ThermalLimits
+	for _, tdp := range []float64{110, 109.5, 109, 108.5, 108, 107.5, 103.5, 103} {
+		lims = append(lims, fbconfig.ThermalLimits{
+			AMBTDP: fbconfig.Celsius(tdp), DRAMTDP: 85,
+			AMBTRP: fbconfig.Celsius(tdp - 1), DRAMTRP: 84,
+		})
+	}
+	return sweep.Grid{
+		Mixes:    []string{"W1"},
+		Policies: []string{"DTM-TS", "DTM-BW", "DTM-ACG", "DTM-CDVFS"},
+		Limits:   lims,
+	}.Expand()
+}
+
+// TestPrefixSharingSavesTimesteps is the acceptance test for the prefix
+// layer at sweep scale: on a 4-policy × 8-point grid the shared engine
+// must simulate at most half the timesteps a cold-replay engine would
+// (saved ≥ simulated, counted by dramtherm_prefix_timesteps_saved_total)
+// while producing a byte-identical report table.
+func TestPrefixSharingSavesTimesteps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real simulation skipped in -short mode")
+	}
+	specs := prefixGrid()
+	if len(specs) != 32 {
+		t.Fatalf("grid expanded to %d specs, want 32", len(specs))
+	}
+
+	coldEng := sweep.NewEngine(core.NewSystem(goldenConfig(false)), 4)
+	coldRes, err := coldEng.Sweep(context.Background(), specs, sweep.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sharedEng := sweep.NewEngine(core.NewSystem(goldenConfig(false)), 4)
+	sharedEng.EnablePrefixSharing()
+	reg := obs.NewRegistry()
+	sharedEng.Instrument(reg)
+	sharedRes, err := sharedEng.Sweep(context.Background(), specs, sweep.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cold := coldRes.Table("prefix acceptance").String()
+	shared := sharedRes.Table("prefix acceptance").String()
+	if cold == "" || cold != shared {
+		t.Errorf("shared table not byte-identical to cold table:\ncold:\n%s\nshared:\n%s", cold, shared)
+	}
+
+	st, ok := sharedEng.PrefixStats()
+	if !ok {
+		t.Fatal("PrefixStats reports sharing disabled")
+	}
+	saved := reg.Sum("dramtherm_prefix_timesteps_saved_total", nil)
+	run := reg.Sum("dramtherm_prefix_timesteps_simulated_total", nil)
+	if saved != float64(st.StepsSaved) || run != float64(st.StepsSimulated) {
+		t.Errorf("metrics disagree with Stats: saved %v vs %d, run %v vs %d",
+			saved, st.StepsSaved, run, st.StepsSimulated)
+	}
+	if saved == 0 || run == 0 {
+		t.Fatalf("degenerate counters: %+v", st)
+	}
+	// Cold replay would simulate run+saved timesteps; ≥ 2× fewer means
+	// the shared engine ran at most half of that.
+	if saved < run {
+		t.Errorf("prefix sharing saved %v of %v cold timesteps — less than the required 2×: %+v",
+			saved, saved+run, st)
+	}
+	t.Logf("32 specs in 8 groups: %+v (%.1f%% of cold timesteps simulated)",
+		st, 100*run/(run+saved))
+}

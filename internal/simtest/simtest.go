@@ -165,6 +165,10 @@ type Spec struct {
 	InstrScale float64
 	SensorSeed int64 // nonzero: noisy Chapter 5 sensors
 	MaxSeconds float64
+	// Limits overrides the thermal limits when nonzero. The divergence
+	// suite tightens them so short runs actually cross the emergency
+	// levels and policies throttle — and therefore diverge.
+	Limits fbconfig.ThermalLimits
 }
 
 // RandomSpec draws a workload specification from r. Successive draws
@@ -194,18 +198,25 @@ func (s Spec) Config(exact bool) (sim.MEMSpotConfig, error) {
 		return sim.MEMSpotConfig{}, err
 	}
 	cores := fbconfig.DefaultSimParams.Cores
+	lim := fbconfig.DefaultLimits
+	if s.Limits.AMBTDP != 0 {
+		lim = s.Limits
+	}
+	levels := dtm.LevelsForTDP(lim.AMBTDP, lim.DRAMTDP)
 	var pol dtm.Policy
 	switch s.Policy {
+	case "No-limit":
+		pol = &dtm.NoLimit{Cores: cores}
 	case "DTM-TS":
-		pol = dtm.NewTS(fbconfig.DefaultLimits, cores)
+		pol = dtm.NewTS(lim, cores)
 	case "DTM-BW":
-		pol = dtm.NewBW(dtm.DefaultLevels(), cores)
+		pol = dtm.NewBW(levels, cores)
 	case "DTM-ACG":
-		pol = dtm.NewACG(dtm.DefaultLevels(), cores)
+		pol = dtm.NewACG(levels, cores)
 	case "DTM-CDVFS":
-		pol = dtm.NewCDVFS(dtm.DefaultLevels(), cores)
+		pol = dtm.NewCDVFS(levels, cores)
 	case "DTM-COMB":
-		pol = dtm.NewCOMB(dtm.DefaultLevels(), cores)
+		pol = dtm.NewCOMB(levels, cores)
 	default:
 		return sim.MEMSpotConfig{}, fmt.Errorf("simtest: unknown policy %q", s.Policy)
 	}
@@ -213,9 +224,12 @@ func (s Spec) Config(exact bool) (sim.MEMSpotConfig, error) {
 		Mix:          mix,
 		Replicas:     s.Replicas,
 		Policy:       pol,
+		Cooling:      fbconfig.CoolingAOHS15,
+		Ambient:      fbconfig.AmbientIsolated,
 		InstrScale:   s.InstrScale,
 		MaxSeconds:   s.MaxSeconds,
 		SensorSeed:   s.SensorSeed,
+		Limits:       s.Limits,
 		ExactThermal: exact,
 	}, nil
 }

@@ -1,0 +1,63 @@
+// Checkpoint persistence: prefix-sharing group records ride the same
+// segment log as runs and traces, so a restarted engine resumes with its
+// decision logs and strided checkpoints warm. Checkpoint records are an
+// optimization, never source of truth — a record that fails to decode or
+// validate on replay is dropped silently, and oversized groups are not
+// persisted at all.
+
+package sweep
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"dramtherm/internal/sweep/prefix"
+)
+
+// maxCheckpointRecordBytes caps the encoded size of one persisted group
+// record. A group whose decision log and checkpoints encode larger than
+// this stays memory-only: losing it costs one cold replay after a
+// restart, while persisting it would bloat every compaction.
+const maxCheckpointRecordBytes = 8 << 20
+
+// encodeCheckpointRecord frames one group record as a gob payload.
+func encodeCheckpointRecord(rec prefix.GroupRecord) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(rec); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeCheckpointRecord decodes and validates one checkpoint payload.
+// Validation re-derives every state digest, so a payload that gob-decodes
+// but carries a tampered or bit-rotted simulator state is rejected here
+// rather than restored into a run.
+func decodeCheckpointRecord(payload []byte) (prefix.GroupRecord, error) {
+	var rec prefix.GroupRecord
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
+		return prefix.GroupRecord{}, fmt.Errorf("sweep: decoding checkpoint record: %w", err)
+	}
+	if err := rec.Validate(); err != nil {
+		return prefix.GroupRecord{}, fmt.Errorf("sweep: invalid checkpoint record: %w", err)
+	}
+	return rec, nil
+}
+
+// appendCheckpoint frames one completed prefix group into the segment
+// log. Registered as the sharer's OnGroupComplete hook when both prefix
+// sharing and the segment log are enabled.
+func (e *Engine) appendCheckpoint(rec prefix.GroupRecord) {
+	payload, err := encodeCheckpointRecord(rec)
+	if err != nil {
+		e.appendErrs.Add(1)
+		return
+	}
+	if len(payload) > maxCheckpointRecordBytes {
+		return // too large to persist; keep memory-only
+	}
+	if err := e.seglog.Append(recordCheckpoint, payload); err != nil {
+		e.appendErrs.Add(1)
+	}
+}

@@ -1,0 +1,114 @@
+package sweep
+
+import (
+	"testing"
+
+	"dramtherm/internal/core"
+	"dramtherm/internal/sweep/prefix"
+)
+
+// TestCheckpointPersistRoundTrip: a checkpoint record appended through
+// the engine's group-complete hook survives a restart (replayState
+// imports it into the new sharer) and a CompactState rewrite.
+func TestCheckpointPersistRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	e := NewEngine(core.NewSystem(tinyConfig()), 1)
+	e.EnablePrefixSharing()
+	if err := e.EnableSegmentLog(dir, 0); err != nil {
+		t.Fatal(err)
+	}
+	rec := seedGroupRecord()
+	// The hook the sharer fires on group completion.
+	e.appendCheckpoint(rec)
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reopen := func(t *testing.T) *Engine {
+		t.Helper()
+		e2 := NewEngine(core.NewSystem(tinyConfig()), 1)
+		e2.EnablePrefixSharing()
+		if err := e2.EnableSegmentLog(dir, 0); err != nil {
+			t.Fatal(err)
+		}
+		return e2
+	}
+	exported := func(e *Engine) []string {
+		var keys []string
+		e.prefix.Export(func(r prefix.GroupRecord) bool {
+			keys = append(keys, r.Key)
+			return true
+		})
+		return keys
+	}
+
+	e2 := reopen(t)
+	if got := exported(e2); len(got) != 1 || got[0] != rec.Key {
+		t.Fatalf("replayed groups %v, want [%s]", got, rec.Key)
+	}
+	// Compaction must re-emit the checkpoint record into the fresh
+	// segment, not drop it.
+	if err := e2.CompactState(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	e3 := reopen(t)
+	defer e3.Close()
+	if got := exported(e3); len(got) != 1 || got[0] != rec.Key {
+		t.Fatalf("groups after compaction %v, want [%s]", got, rec.Key)
+	}
+}
+
+// TestCheckpointReplayIgnoredWithoutSharing: an engine that replays a
+// log holding checkpoint records with prefix sharing disabled must not
+// fail — the records are simply skipped.
+func TestCheckpointReplayIgnoredWithoutSharing(t *testing.T) {
+	dir := t.TempDir()
+	e := NewEngine(core.NewSystem(tinyConfig()), 1)
+	e.EnablePrefixSharing()
+	if err := e.EnableSegmentLog(dir, 0); err != nil {
+		t.Fatal(err)
+	}
+	e.appendCheckpoint(seedGroupRecord())
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	plain := NewEngine(core.NewSystem(tinyConfig()), 1)
+	if err := plain.EnableSegmentLog(dir, 0); err != nil {
+		t.Fatalf("replay with sharing disabled: %v", err)
+	}
+	defer plain.Close()
+	if _, ok := plain.PrefixStats(); ok {
+		t.Fatal("sharing reported enabled on a plain engine")
+	}
+}
+
+// TestCheckpointCorruptReplaySkipped: a log whose checkpoint payload is
+// garbage still replays — the bad record is dropped, not fatal.
+func TestCheckpointCorruptReplaySkipped(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenSegmentLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(recordCheckpoint, []byte("definitely not gob")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(core.NewSystem(tinyConfig()), 1)
+	e.EnablePrefixSharing()
+	if err := e.EnableSegmentLog(dir, 0); err != nil {
+		t.Fatalf("corrupt checkpoint record aborted replay: %v", err)
+	}
+	defer e.Close()
+	count := 0
+	e.prefix.Export(func(prefix.GroupRecord) bool { count++; return true })
+	if count != 0 {
+		t.Fatalf("%d groups imported from garbage", count)
+	}
+}

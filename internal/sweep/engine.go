@@ -10,6 +10,7 @@ import (
 	"dramtherm/internal/core"
 	"dramtherm/internal/fbconfig"
 	"dramtherm/internal/sim"
+	"dramtherm/internal/sweep/prefix"
 	"dramtherm/internal/workload"
 )
 
@@ -79,6 +80,13 @@ type Engine struct {
 	batch    BatchBackend
 	policies map[string]bool
 
+	// Prefix sharing (EnablePrefixSharing): nil means cold replay for
+	// every spec. runCustom records that SetRunFunc replaced the default
+	// local runner — prefix sharing then steps aside, because it drives
+	// the simulator directly rather than through the run function.
+	prefix    *prefix.Sharer
+	runCustom bool
+
 	// Durable-state machinery (state.go); all nil/zero until
 	// EnableSegmentLog.
 	seglog      *SegmentLog
@@ -113,8 +121,52 @@ func (e *Engine) Workers() int { return e.cache.Workers() }
 func (e *Engine) Stats() Stats { return e.cache.Stats() }
 
 // SetRunFunc replaces the local run function. It must be called before
-// the engine is shared across goroutines.
-func (e *Engine) SetRunFunc(fn RunFunc) { e.run = fn }
+// the engine is shared across goroutines. An engine with a custom run
+// function executes every spec through it — prefix sharing, which
+// drives the simulator directly, is bypassed.
+func (e *Engine) SetRunFunc(fn RunFunc) {
+	e.run = fn
+	e.runCustom = true
+}
+
+// EnablePrefixSharing turns on prefix-state checkpointing across DTM
+// policy slices: specs that differ only in policy form a group whose
+// first run leads (recording decisions, checkpointing state at decision
+// boundaries) and whose later runs resume from the deepest checkpoint
+// before their first divergent decision — or reuse the leader's result
+// outright when the decision logs match in full. Results are
+// bit-identical to cold replay (enforced by internal/simtest's
+// divergence differential suite). It must be called before the engine
+// is shared across goroutines; call it before EnableSegmentLog so
+// persisted checkpoint records replay into the sharer.
+func (e *Engine) EnablePrefixSharing() {
+	if e.prefix != nil {
+		return
+	}
+	e.prefix = prefix.New(e.sys)
+	if e.seglog != nil {
+		e.prefix.OnGroupComplete(e.appendCheckpoint)
+	}
+}
+
+// PrefixStats returns the prefix sharer's counters and whether sharing
+// is enabled.
+func (e *Engine) PrefixStats() (prefix.Stats, bool) {
+	if e.prefix == nil {
+		return prefix.Stats{}, false
+	}
+	return e.prefix.Stats(), true
+}
+
+// sliceKey is the group identity for prefix sharing: the spec's
+// canonical key with the policy wildcarded, so specs identical except
+// for policy land in the same group. normalize never produces "*", so
+// slice keys cannot collide with real spec keys.
+func (e *Engine) sliceKey(spec Spec) string {
+	spec = spec.normalize()
+	spec.Policy = "*"
+	return string(spec.Key(e.digest))
+}
 
 // SetBackend routes cache misses through b instead of local execution
 // (cluster mode). It must be called before the engine is shared across
@@ -251,6 +303,11 @@ func (e *Engine) RunDetailed(ctx context.Context, spec Spec) (sim.MEMSpotResult,
 	var remote RunInfo
 	res, out, err := e.cache.DoTraced(ctx, spec.Key(e.digest), func(ctx context.Context) (sim.MEMSpotResult, error) {
 		if e.backend == nil {
+			if e.prefix != nil && !e.runCustom {
+				return e.prefix.Run(ctx, e.sliceKey(spec), func() (core.RunSpec, error) {
+					return e.Resolve(spec)
+				})
+			}
 			return e.Exec(ctx, spec)
 		}
 		r, info, err := e.backend.RunSpec(ctx, spec)

@@ -38,9 +38,15 @@ func (c *Cache[V]) Instrument(reg *obs.Registry) {
 		func() float64 { return float64(len(c.sem)) })
 }
 
-// Instrument registers the engine's run-cache metrics on reg. It must
-// be called before the engine is shared across goroutines.
-func (e *Engine) Instrument(reg *obs.Registry) { e.cache.Instrument(reg) }
+// Instrument registers the engine's run-cache metrics on reg, plus the
+// prefix-sharing families when EnablePrefixSharing has been called. It
+// must be called before the engine is shared across goroutines.
+func (e *Engine) Instrument(reg *obs.Registry) {
+	e.cache.Instrument(reg)
+	if e.prefix != nil {
+		e.prefix.Instrument(reg)
+	}
+}
 
 // Instrument registers the job registry's metric families on reg: jobs
 // by status (gauge, counted under the registry lock so it matches List)

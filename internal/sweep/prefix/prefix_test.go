@@ -1,0 +1,236 @@
+package prefix_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"dramtherm/internal/core"
+	"dramtherm/internal/dtm"
+	"dramtherm/internal/fbconfig"
+	"dramtherm/internal/sim"
+	"dramtherm/internal/sweep/prefix"
+	"dramtherm/internal/workload"
+)
+
+// scripted is a deterministic fake policy: it answers decision i with
+// acts[min(i, len-1)], ignoring the input.
+type scripted struct {
+	acts []dtm.Action
+	i    int
+}
+
+func (s *scripted) Name() string { return "scripted" }
+func (s *scripted) Reset()       { s.i = 0 }
+func (s *scripted) Decide(dtm.Input) dtm.Action {
+	k := s.i
+	if k >= len(s.acts) {
+		k = len(s.acts) - 1
+	}
+	s.i++
+	return s.acts[k]
+}
+
+func neutral(cores int) dtm.Action {
+	return dtm.Action{BWCapGBps: dtm.NoCap(), ActiveCores: cores, FreqIndex: 0}
+}
+
+func TestDivergencePoint(t *testing.T) {
+	n4, off := neutral(4), dtm.Action{MemOff: true, BWCapGBps: dtm.NoCap(), ActiveCores: 4}
+	log := []prefix.DecisionRecord{{Act: n4}, {Act: n4}, {Act: off}, {Act: n4}}
+
+	if k := prefix.DivergencePoint(log, &scripted{acts: []dtm.Action{n4, n4, off, n4}}); k != len(log) {
+		t.Fatalf("full match: k = %d, want %d", k, len(log))
+	}
+	if k := prefix.DivergencePoint(log, &scripted{acts: []dtm.Action{n4, n4, n4}}); k != 2 {
+		t.Fatalf("divergence at 2: k = %d", k)
+	}
+	if k := prefix.DivergencePoint(log, &scripted{acts: []dtm.Action{off}}); k != 0 {
+		t.Fatalf("immediate divergence: k = %d", k)
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	inner := &scripted{acts: []dtm.Action{neutral(4)}}
+	r := prefix.NewRecorder(inner)
+	if r.Name() != "scripted" {
+		t.Fatalf("name %q", r.Name())
+	}
+	for i := 0; i < 5; i++ {
+		r.Decide(dtm.Input{AMB: float64(i)})
+	}
+	log := r.Log()
+	if len(log) != 5 || r.Truncated() {
+		t.Fatalf("log %d entries, truncated %v", len(log), r.Truncated())
+	}
+	if log[3].In.AMB != 3 {
+		t.Fatalf("input not recorded: %+v", log[3])
+	}
+	r.Reset()
+	if len(r.Log()) != 0 || inner.i != 0 {
+		t.Fatal("reset did not clear recorder and inner policy")
+	}
+}
+
+// testSystem is the golden-scale real system: small enough for CI, hot
+// enough (tightened limits) that policies actually throttle and diverge.
+func testSystem(t *testing.T) *core.System {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.Replicas = 1
+	cfg.InstrScale = 0.02
+	cfg.Limits = fbconfig.ThermalLimits{AMBTDP: 103.5, DRAMTDP: 85, AMBTRP: 102.5, DRAMTRP: 84}
+	return core.NewSystem(cfg)
+}
+
+func runSpec(t *testing.T, sys *core.System, policy string) core.RunSpec {
+	t.Helper()
+	mix, err := workload.MixByName("W1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := sys.NewPolicy(policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.RunSpec{Mix: mix, Policy: pol, Cooling: fbconfig.CoolingAOHS15}
+}
+
+// TestLeaderFollowerBitIdentical drives four policies through one
+// sharer group against a real system and requires every result to be
+// bit-identical to its cold replay — the package-level statement of the
+// contract the internal/simtest divergence suite proves at sweep scale.
+func TestLeaderFollowerBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real simulation skipped in -short mode")
+	}
+	sys := testSystem(t)
+	policies := []string{"DTM-TS", "DTM-BW", "DTM-ACG", "DTM-CDVFS"}
+
+	cold := make(map[string]sim.MEMSpotResult, len(policies))
+	for _, p := range policies {
+		res, err := sys.Run(runSpec(t, sys, p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold[p] = res
+	}
+
+	s := prefix.New(sys)
+	var exported []prefix.GroupRecord
+	s.OnGroupComplete(func(rec prefix.GroupRecord) { exported = append(exported, rec) })
+	for _, p := range policies {
+		p := p
+		res, err := s.Run(context.Background(), "slice", func() (core.RunSpec, error) {
+			return runSpec(t, sys, p), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res, cold[p]) {
+			t.Fatalf("%s: shared result diverged from cold replay", p)
+		}
+	}
+
+	st := s.Stats()
+	if st.Leaders != 1 {
+		t.Fatalf("leaders = %d, want 1", st.Leaders)
+	}
+	if st.FullReuse+st.Resumed+st.Cold != int64(len(policies))-1 {
+		t.Fatalf("follower modes don't sum: %+v", st)
+	}
+	if st.StepsSaved == 0 {
+		t.Fatalf("no timesteps saved: %+v", st)
+	}
+	if len(exported) != 1 {
+		t.Fatalf("%d group records exported, want 1", len(exported))
+	}
+	if err := exported[0].Validate(); err != nil {
+		t.Fatalf("exported record invalid: %v", err)
+	}
+
+	// The exported record must round-trip through Import into a fresh
+	// sharer and still serve bit-identical resumes.
+	s2 := prefix.New(sys)
+	if err := s2.Import(exported[0]); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s2.Run(context.Background(), "slice", func() (core.RunSpec, error) {
+		return runSpec(t, sys, "DTM-CDVFS"), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, cold["DTM-CDVFS"]) {
+		t.Fatal("resume from imported record diverged from cold replay")
+	}
+	if st := s2.Stats(); st.Leaders != 0 || st.Resumed+st.Cold != 1 {
+		t.Fatalf("imported group did not serve a follower: %+v", st)
+	}
+}
+
+// TestLeaderErrorElectsFreshLeader: a failed leader must not poison the
+// group — the next arrival leads again.
+func TestLeaderErrorElectsFreshLeader(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real simulation skipped in -short mode")
+	}
+	sys := testSystem(t)
+	s := prefix.New(sys)
+	boom := errors.New("boom")
+	if _, err := s.Run(context.Background(), "slice", func() (core.RunSpec, error) {
+		return core.RunSpec{}, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("leader error = %v, want boom", err)
+	}
+	res, err := s.Run(context.Background(), "slice", func() (core.RunSpec, error) {
+		return runSpec(t, sys, "DTM-TS"), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seconds <= 0 {
+		t.Fatalf("degenerate re-led run: %+v", res)
+	}
+	if st := s.Stats(); st.Leaders != 2 {
+		t.Fatalf("leaders = %d, want 2 (failed + fresh)", st.Leaders)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	var st sim.MEMSpotState
+	n4 := neutral(4)
+	log := []prefix.DecisionRecord{{Act: n4}, {Act: n4}, {Act: n4}}
+	good := prefix.GroupRecord{
+		Key:       "k",
+		Decisions: log,
+		Checkpoints: []prefix.CheckpointRecord{
+			{Decision: 1, StateDigest: st.Digest(), State: st},
+			{Decision: 2, StateDigest: st.Digest(), State: st},
+		},
+	}
+	good.TraceDigest = prefix.TraceDigest(good.Key, good.Decisions)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid record rejected: %v", err)
+	}
+
+	for name, mutate := range map[string]func(*prefix.GroupRecord){
+		"empty key":       func(r *prefix.GroupRecord) { r.Key = "" },
+		"trace digest":    func(r *prefix.GroupRecord) { r.TraceDigest = "beef" },
+		"state digest":    func(r *prefix.GroupRecord) { r.Checkpoints[0].StateDigest = "beef" },
+		"not increasing":  func(r *prefix.GroupRecord) { r.Checkpoints[1].Decision = 1 },
+		"beyond log":      func(r *prefix.GroupRecord) { r.Checkpoints[1].Decision = 99 },
+		"zero decision":   func(r *prefix.GroupRecord) { r.Checkpoints[0].Decision = 0 },
+		"tampered state":  func(r *prefix.GroupRecord) { r.Checkpoints[0].State.Now = 1e9 },
+		"tampered action": func(r *prefix.GroupRecord) { r.Decisions[0].Act.MemOff = true },
+	} {
+		bad := good
+		bad.Decisions = append([]prefix.DecisionRecord(nil), good.Decisions...)
+		bad.Checkpoints = append([]prefix.CheckpointRecord(nil), good.Checkpoints...)
+		mutate(&bad)
+		if err := bad.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

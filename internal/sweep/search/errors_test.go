@@ -1,0 +1,121 @@
+package search
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"dramtherm/internal/core"
+	"dramtherm/internal/sim"
+	"dramtherm/internal/sweep"
+)
+
+// fakeStrategy scripts Next round by round: each entry is the specs to
+// plan, and after the script runs out the strategy reports done.
+type fakeStrategy struct {
+	rounds [][]sweep.Spec
+	calls  int
+}
+
+func (f *fakeStrategy) Name() string { return "fake" }
+func (f *fakeStrategy) Next(completed []Round) ([]sweep.Spec, bool) {
+	i := f.calls
+	f.calls++
+	if i >= len(f.rounds) {
+		return nil, true
+	}
+	return f.rounds[i], false
+}
+
+func fullFidSpecs() []sweep.Spec {
+	return sweep.Grid{Mixes: []string{"W1"}, Policies: []string{"DTM-TS", "DTM-BW"}}.Expand()
+}
+
+// TestEmptyFirstRound: a strategy that plans an empty (but not done)
+// round must abort the search loudly, not sweep nothing forever.
+func TestEmptyFirstRound(t *testing.T) {
+	eng, _ := synthEngine(t, 1)
+	_, err := Run(context.Background(), eng, &fakeStrategy{rounds: [][]sweep.Spec{{}}}, Options{})
+	if err == nil || !strings.Contains(err.Error(), "planned an empty round 0") {
+		t.Fatalf("err = %v, want empty-round-0 error", err)
+	}
+}
+
+// TestEmptyLaterRound: the empty-round check applies after completed
+// rounds too — the error names the round that was empty.
+func TestEmptyLaterRound(t *testing.T) {
+	eng, _ := synthEngine(t, 1)
+	_, err := Run(context.Background(), eng,
+		&fakeStrategy{rounds: [][]sweep.Spec{fullFidSpecs(), {}}}, Options{})
+	if err == nil || !strings.Contains(err.Error(), "planned an empty round 1") {
+		t.Fatalf("err = %v, want empty-round-1 error", err)
+	}
+}
+
+// TestNoRounds: a strategy that is done before planning anything has no
+// final round to crown a winner from.
+func TestNoRounds(t *testing.T) {
+	eng, _ := synthEngine(t, 1)
+	_, err := Run(context.Background(), eng, &fakeStrategy{}, Options{})
+	if err == nil || !strings.Contains(err.Error(), "planned no rounds") {
+		t.Fatalf("err = %v, want no-rounds error", err)
+	}
+}
+
+// TestCancellationMidRound: cancelling while a round's sweep is in
+// flight must abort the search with the round's context error — the
+// existing TestSearchCancellation only covers a pre-cancelled context.
+func TestCancellationMidRound(t *testing.T) {
+	eng := sweep.NewEngine(core.NewSystem(core.DefaultConfig()), 2)
+	t.Cleanup(func() { eng.Close() })
+	ctx, cancel := context.WithCancel(context.Background())
+	var runs atomic.Int64
+	eng.SetRunFunc(func(rctx context.Context, rs core.RunSpec) (sim.MEMSpotResult, error) {
+		if runs.Add(1) == 2 {
+			// Second run of the round: pull the rug mid-sweep.
+			cancel()
+		}
+		<-rctx.Done()
+		return sim.MEMSpotResult{}, rctx.Err()
+	})
+	_, err := Run(ctx, eng, &fakeStrategy{rounds: [][]sweep.Spec{fullFidSpecs()}}, Options{})
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !strings.Contains(err.Error(), "round 0") {
+		t.Fatalf("err %v does not name the aborted round", err)
+	}
+}
+
+// TestCancellationBetweenRounds: a context cancelled after round 0
+// completes must stop round 1, and the error names it. Round 1 plans
+// fresh specs — cached repeats of round 0 would never consult the
+// context at all.
+func TestCancellationBetweenRounds(t *testing.T) {
+	eng := sweep.NewEngine(core.NewSystem(core.DefaultConfig()), 2)
+	t.Cleanup(func() { eng.Close() })
+	eng.SetRunFunc(func(rctx context.Context, rs core.RunSpec) (sim.MEMSpotResult, error) {
+		if err := rctx.Err(); err != nil {
+			return sim.MEMSpotResult{}, err
+		}
+		return sim.MEMSpotResult{Seconds: 100, Completed: 4}, nil
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	round1 := sweep.Grid{Mixes: []string{"W2"}, Policies: []string{"DTM-ACG", "DTM-CDVFS"}}.Expand()
+	strat := &fakeStrategy{rounds: [][]sweep.Spec{fullFidSpecs(), round1}}
+	done := false
+	_, err := Run(ctx, eng, strat, Options{OnEvent: func(ev sweep.Event) {
+		if ev.Kind == sweep.EventRoundFinished && !done {
+			done = true
+			cancel()
+		}
+	}})
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !strings.Contains(err.Error(), "round 1") {
+		t.Fatalf("err %v does not name round 1", err)
+	}
+}

@@ -51,6 +51,12 @@ const (
 	// recordTrace is one level-1 trace-store record: payload is a gob
 	// trace.Rates.
 	recordTrace byte = 2
+	// recordCheckpoint is one prefix-sharing group record: payload is a
+	// gob checkpointRecord (decision log + strided simulator
+	// checkpoints, digest-keyed). Checkpoint records are an
+	// optimization, not source of truth — replay skips any that fail to
+	// decode or validate instead of aborting.
+	recordCheckpoint byte = 3
 )
 
 // maxRecordBytes bounds one frame's payload; anything larger is
@@ -338,7 +344,7 @@ func replaySegment(f *os.File, fn func(kind byte, payload []byte) error) (good i
 		kind := hdr[0]
 		n := binary.LittleEndian.Uint32(hdr[1:])
 		sum := binary.LittleEndian.Uint32(hdr[5:])
-		if n > maxRecordBytes || (kind != recordRun && kind != recordTrace) {
+		if n > maxRecordBytes || (kind != recordRun && kind != recordTrace && kind != recordCheckpoint) {
 			return good, nil // corrupt frame: framing is gone past here
 		}
 		payload := make([]byte, n)

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"dramtherm/internal/sim"
+	"dramtherm/internal/sweep/prefix"
 	"dramtherm/internal/trace"
 )
 
@@ -51,6 +52,9 @@ func (e *Engine) EnableSegmentLog(dir string, compactEvery time.Duration) error 
 	e.cache.OnInsert(func(k Key, v sim.MEMSpotResult) {
 		e.appendRun(k, v)
 	})
+	if e.prefix != nil {
+		e.prefix.OnGroupComplete(e.appendCheckpoint)
+	}
 	e.sys.Store().SetOnBuild(func(r trace.Rates) {
 		var buf bytes.Buffer
 		if gob.NewEncoder(&buf).Encode(traceRecord{Rates: r}) == nil {
@@ -98,6 +102,15 @@ func (e *Engine) replayState(l *SegmentLog) error {
 				return fmt.Errorf("sweep: replaying trace record: %w", err)
 			}
 			e.sys.Store().Put(rec.Rates)
+		case recordCheckpoint:
+			// Checkpoints are droppable: a record that no longer decodes
+			// or validates costs one cold replay, not a failed startup.
+			if e.prefix == nil {
+				break
+			}
+			if rec, err := decodeCheckpointRecord(payload); err == nil {
+				e.prefix.Import(rec)
+			}
 		}
 		return nil
 	})
@@ -152,6 +165,23 @@ func (e *Engine) CompactState() error {
 			err = emit(recordTrace, buf.Bytes())
 			return err == nil
 		})
+		if err != nil {
+			return err
+		}
+		if e.prefix != nil {
+			e.prefix.Export(func(rec prefix.GroupRecord) bool {
+				payload, encErr := encodeCheckpointRecord(rec)
+				if encErr != nil {
+					err = encErr
+					return false
+				}
+				if len(payload) > maxCheckpointRecordBytes {
+					return true // skip, as appendCheckpoint would
+				}
+				err = emit(recordCheckpoint, payload)
+				return err == nil
+			})
+		}
 		return err
 	})
 }

@@ -1,0 +1,63 @@
+// Snapshot/restore seam for the thermal models. The dynamic state of a
+// Model is its ambient temperature plus the per-DIMM temperature pairs;
+// the decay caches are deliberately excluded — they revalidate against
+// (dt, tau) on every step, so a restored model recomputes the identical
+// factors by the identical expression and stays bit-compatible with a
+// model that never checkpointed.
+
+package thermal
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"dramtherm/internal/fbconfig"
+)
+
+// ModelState is the restorable dynamic state of a Model.
+type ModelState struct {
+	Ambient fbconfig.Celsius
+	DIMMs   []DIMMState
+}
+
+// Snapshot captures the model's dynamic state. The returned state owns
+// its DIMM slice and stays valid after further Advance calls.
+func (m *Model) Snapshot() ModelState {
+	return ModelState{
+		Ambient: m.Ambient,
+		DIMMs:   append([]DIMMState(nil), m.DIMMs...),
+	}
+}
+
+// Restore overwrites the model's dynamic state from a snapshot taken on
+// a model with the same DIMM geometry.
+func (m *Model) Restore(st ModelState) error {
+	if len(st.DIMMs) != len(m.DIMMs) {
+		return fmt.Errorf("thermal: restore with %d DIMMs onto a model with %d", len(st.DIMMs), len(m.DIMMs))
+	}
+	m.Ambient = st.Ambient
+	copy(m.DIMMs, st.DIMMs)
+	return nil
+}
+
+// Digest returns the canonical digest of the state: the SHA-256 of its
+// full-precision rendering, truncated to 16 hex digits (the same idiom
+// as core.ConfigDigest). %v renders floats with the shortest
+// round-trippable form, so distinct bit patterns digest differently.
+func (st ModelState) Digest() string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%+v", st)))
+	return hex.EncodeToString(sum[:8])
+}
+
+// AmbientState is the restorable dynamic state of an AmbientModel: the
+// current ambient temperature. Params and Inlet are configuration.
+type AmbientState struct {
+	T fbconfig.Celsius
+}
+
+// Snapshot captures the ambient model's dynamic state.
+func (am *AmbientModel) Snapshot() AmbientState { return AmbientState{T: am.T} }
+
+// Restore overwrites the ambient temperature from a snapshot.
+func (am *AmbientModel) Restore(st AmbientState) { am.T = st.T }

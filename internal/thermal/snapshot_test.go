@@ -1,0 +1,93 @@
+package thermal
+
+import (
+	"testing"
+
+	"dramtherm/internal/fbconfig"
+	"dramtherm/internal/power"
+)
+
+func warmModel(t *testing.T, steps int) *Model {
+	t.Helper()
+	m := NewModel(fbconfig.CoolingAOHS15, 50, 4, power.DIMMPower{AMB: 2, DRAM: 1})
+	pw := []power.DIMMPower{{AMB: 6, DRAM: 2}, {AMB: 5, DRAM: 2}, {AMB: 4, DRAM: 1.5}, {AMB: 3, DRAM: 1}}
+	for i := 0; i < steps; i++ {
+		if err := m.Advance(pw, 0.01); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+// TestModelSnapshotForkBitIdentical: a restored model continues exactly
+// like the model it was captured from — same trajectory, same digests —
+// and the snapshot is a deep copy unaffected by further stepping.
+func TestModelSnapshotForkBitIdentical(t *testing.T) {
+	src := warmModel(t, 20)
+	st := src.Snapshot()
+	if src.Snapshot().Digest() != st.Digest() {
+		t.Fatal("snapshot digest not stable")
+	}
+
+	dst := NewModel(fbconfig.CoolingAOHS15, 50, 4, power.DIMMPower{AMB: 2, DRAM: 1})
+	if err := dst.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	pw := []power.DIMMPower{{AMB: 6, DRAM: 2}, {AMB: 5, DRAM: 2}, {AMB: 4, DRAM: 1.5}, {AMB: 3, DRAM: 1}}
+	for i := 0; i < 20; i++ {
+		if err := src.Advance(pw, 0.01); err != nil {
+			t.Fatal(err)
+		}
+		if err := dst.Advance(pw, 0.01); err != nil {
+			t.Fatal(err)
+		}
+		if src.HottestAMB() != dst.HottestAMB() || src.HottestDRAM() != dst.HottestDRAM() {
+			t.Fatalf("step %d: restored model diverged: %v/%v vs %v/%v",
+				i, src.HottestAMB(), src.HottestDRAM(), dst.HottestAMB(), dst.HottestDRAM())
+		}
+	}
+	if src.Snapshot().Digest() != dst.Snapshot().Digest() {
+		t.Fatal("final digests differ after lockstep advance")
+	}
+	// The snapshot must not have aliased live state: advancing src moved
+	// it past st, so restoring st again rewinds.
+	if src.Snapshot().Digest() == st.Digest() {
+		t.Fatal("snapshot aliases live model state")
+	}
+}
+
+func TestModelRestoreGeometryMismatch(t *testing.T) {
+	st := warmModel(t, 5).Snapshot()
+	m3 := NewModel(fbconfig.CoolingAOHS15, 50, 3, power.DIMMPower{AMB: 2, DRAM: 1})
+	if err := m3.Restore(st); err == nil {
+		t.Fatal("4-DIMM snapshot restored onto a 3-DIMM model")
+	}
+}
+
+func TestModelStateDigestDistinguishes(t *testing.T) {
+	a := warmModel(t, 5).Snapshot()
+	b := warmModel(t, 6).Snapshot()
+	if a.Digest() == b.Digest() {
+		t.Fatal("distinct states share a digest")
+	}
+	if len(a.Digest()) != 16 {
+		t.Fatalf("digest %q is not 16 hex digits", a.Digest())
+	}
+}
+
+func TestAmbientModelSnapshotRoundTrip(t *testing.T) {
+	cores := []CoreActivity{{Volt: 1.2, IPC: 0.8}, {Volt: 1.2, IPC: 0.5}}
+	src := NewAmbientModel(fbconfig.AmbientIsolated, 45)
+	for i := 0; i < 10; i++ {
+		src.Advance(cores, 0.01)
+	}
+	st := src.Snapshot()
+	dst := NewAmbientModel(fbconfig.AmbientIsolated, 45)
+	dst.Restore(st)
+	for i := 0; i < 10; i++ {
+		a, b := src.Advance(cores, 0.01), dst.Advance(cores, 0.01)
+		if a != b {
+			t.Fatalf("step %d: restored ambient model diverged: %v vs %v", i, a, b)
+		}
+	}
+}

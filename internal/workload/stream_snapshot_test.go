@@ -1,0 +1,46 @@
+package workload
+
+import (
+	"testing"
+)
+
+// TestStreamSnapshotResume: a restored stream must continue the exact
+// access sequence — address, kind, and speculative coin flips — of the
+// stream it was snapshotted from. The restore path replays the draw
+// count against a fresh source, so this test is the contract that every
+// Stream method consumes the source only through single-Int63 draws.
+func TestStreamSnapshotResume(t *testing.T) {
+	p, err := ByName("swim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStream(p, 2, 1)
+	for i := 0; i < 1000; i++ {
+		s.Next()
+		s.Speculative(0.7)
+	}
+	st := s.Snapshot()
+	r, err := RestoreStream(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		a1, k1 := s.Next()
+		a2, k2 := r.Next()
+		if a1 != a2 || k1 != k2 {
+			t.Fatalf("access %d diverged: (%#x,%v) vs (%#x,%v)", i, a1, k1, a2, k2)
+		}
+		if s.Speculative(0.5) != r.Speculative(0.5) {
+			t.Fatalf("speculative flip %d diverged", i)
+		}
+	}
+}
+
+// TestStreamSnapshotUnknownProfile: a snapshot naming a profile this
+// build does not know cannot restore.
+func TestStreamSnapshotUnknownProfile(t *testing.T) {
+	st := StreamState{Name: "no-such-app"}
+	if _, err := RestoreStream(st); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}
